@@ -1,0 +1,217 @@
+//! Static basic-block decomposition.
+
+use specmt_isa::{Pc, Program};
+
+use crate::BlockId;
+
+/// The static basic-block decomposition of a program.
+///
+/// A *leader* is the program entry, any control-transfer target, or the
+/// instruction following a control transfer or `halt`. A basic block runs
+/// from a leader up to (and including) the next control transfer, `halt`, or
+/// the instruction before the next leader.
+///
+/// Because all control targets are leaders, dynamic execution always enters
+/// a block at its first instruction — the property the reaching analysis and
+/// the paper's "spawning points are first instructions of basic blocks" rule
+/// rely on.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_isa::{ProgramBuilder, Reg};
+/// use specmt_analysis::BasicBlocks;
+///
+/// let mut b = ProgramBuilder::new();
+/// let skip = b.fresh_label("skip");
+/// b.li(Reg::R1, 1); // @0 \ block 0
+/// b.beq(Reg::R1, Reg::ZERO, skip); // @1 /
+/// b.li(Reg::R2, 2); // @2   block 1
+/// b.bind(skip);
+/// b.halt(); // @3   block 2
+/// let program = b.build()?;
+///
+/// let bbs = BasicBlocks::of(&program);
+/// assert_eq!(bbs.num_blocks(), 3);
+/// assert_eq!(bbs.block_of(specmt_isa::Pc(1)), 0);
+/// assert_eq!(bbs.start(2), specmt_isa::Pc(3));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasicBlocks {
+    /// Start pc of each block, ascending.
+    starts: Vec<Pc>,
+    /// Length (in instructions) of each block.
+    lens: Vec<u32>,
+    /// Block id of every static instruction.
+    block_of: Vec<BlockId>,
+}
+
+impl BasicBlocks {
+    /// Decomposes `program` into basic blocks.
+    pub fn of(program: &Program) -> BasicBlocks {
+        let n = program.len();
+        let mut leader = vec![false; n];
+        leader[program.entry().index()] = true;
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (idx, inst) in program.insts().iter().enumerate() {
+            if let Some(t) = inst.control_target() {
+                leader[t.index()] = true;
+            }
+            if (inst.is_branch() || inst.is_halt()) && idx + 1 < n {
+                leader[idx + 1] = true;
+            }
+        }
+
+        let mut starts = Vec::new();
+        let mut lens = Vec::new();
+        let mut block_of = vec![0 as BlockId; n];
+        let mut cur_start = 0usize;
+        for idx in 0..n {
+            if leader[idx] && idx != cur_start {
+                starts.push(Pc(cur_start as u32));
+                lens.push((idx - cur_start) as u32);
+                cur_start = idx;
+            }
+            block_of[idx] = starts.len() as BlockId;
+        }
+        starts.push(Pc(cur_start as u32));
+        lens.push((n - cur_start) as u32);
+
+        BasicBlocks {
+            starts,
+            lens,
+            block_of,
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The block containing the instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    pub fn block_of(&self, pc: Pc) -> BlockId {
+        self.block_of[pc.index()]
+    }
+
+    /// First instruction of block `id`.
+    pub fn start(&self, id: BlockId) -> Pc {
+        self.starts[id as usize]
+    }
+
+    /// Number of instructions in block `id`.
+    pub fn len_of(&self, id: BlockId) -> u32 {
+        self.lens[id as usize]
+    }
+
+    /// Whether `pc` is the first instruction of its block.
+    pub fn is_block_start(&self, pc: Pc) -> bool {
+        self.start(self.block_of(pc)) == pc
+    }
+
+    /// Iterates over `(id, start, len)` for every block.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, Pc, u32)> + '_ {
+        self.starts
+            .iter()
+            .zip(&self.lens)
+            .enumerate()
+            .map(|(id, (&s, &l))| (id as BlockId, s, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmt_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1);
+        b.li(Reg::R2, 2);
+        b.halt();
+        let bbs = BasicBlocks::of(&b.build().unwrap());
+        assert_eq!(bbs.num_blocks(), 1);
+        assert_eq!(bbs.len_of(0), 3);
+    }
+
+    #[test]
+    fn backward_branch_splits_blocks() {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0); // block 0: @0
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, 1); // block 1: @1..=@2
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt(); // block 2: @3
+        let bbs = BasicBlocks::of(&b.build().unwrap());
+        assert_eq!(bbs.num_blocks(), 3);
+        assert_eq!(bbs.start(1), Pc(1));
+        assert_eq!(bbs.len_of(1), 2);
+        assert_eq!(bbs.block_of(Pc(2)), 1);
+        assert!(bbs.is_block_start(Pc(1)));
+        assert!(!bbs.is_block_start(Pc(2)));
+    }
+
+    #[test]
+    fn call_target_and_continuation_are_leaders() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1); // @0 block 0 (with call)
+        b.call("f"); // @1
+        b.halt(); // @2 block 1
+        b.begin_func("f");
+        b.ret(); // @3 block 2
+        b.end_func();
+        let bbs = BasicBlocks::of(&b.build().unwrap());
+        assert_eq!(bbs.num_blocks(), 3);
+        assert_eq!(bbs.start(1), Pc(2)); // the continuation
+        assert_eq!(bbs.start(2), Pc(3)); // the callee entry
+    }
+
+    #[test]
+    fn every_instruction_belongs_to_exactly_one_block() {
+        let mut b = ProgramBuilder::new();
+        let l1 = b.fresh_label("l1");
+        let l2 = b.fresh_label("l2");
+        b.beq(Reg::R1, Reg::ZERO, l1);
+        b.li(Reg::R2, 1);
+        b.j(l2);
+        b.bind(l1);
+        b.li(Reg::R2, 2);
+        b.bind(l2);
+        b.halt();
+        let program = b.build().unwrap();
+        let bbs = BasicBlocks::of(&program);
+        // Blocks tile the program: consecutive, non-overlapping, complete.
+        let mut covered = 0u32;
+        for (id, start, len) in bbs.iter() {
+            assert_eq!(start.0, covered);
+            for off in 0..len {
+                assert_eq!(bbs.block_of(Pc(start.0 + off)), id);
+            }
+            covered += len;
+        }
+        assert_eq!(covered as usize, program.len());
+    }
+
+    #[test]
+    fn entry_not_at_zero_is_a_leader() {
+        let mut b = ProgramBuilder::new();
+        let start = b.fresh_label("start");
+        b.halt(); // @0
+        b.bind(start);
+        b.set_entry(start);
+        b.li(Reg::R1, 1); // @1
+        b.halt(); // @2
+        let bbs = BasicBlocks::of(&b.build().unwrap());
+        // halt at @0 ends block 0; entry at @1 begins block 1.
+        assert!(bbs.is_block_start(Pc(1)));
+    }
+}

@@ -1,0 +1,150 @@
+//! A small fixed-capacity bit set.
+
+/// A fixed-capacity set of small integers, backed by `u64` words.
+///
+/// Used by the reaching analysis to track, for every open source window,
+/// which destination blocks have already been recorded. Kept deliberately
+/// minimal — `specmt` avoids external bit-set crates.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_analysis::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// assert!(!s.contains(42));
+/// assert!(s.insert(42)); // newly inserted
+/// assert!(!s.insert(42)); // already present
+/// assert!(s.contains(42));
+/// s.clear();
+/// assert!(!s.contains(42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `value` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset value out of range");
+        self.words[value / 64] & (1 << (value % 64)) != 0
+    }
+
+    /// Inserts `value`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset value out of range");
+        let word = &mut self.words[value / 64];
+        let mask = 1 << (value % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes all values.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of values currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(200);
+        for v in [0, 63, 64, 65, 127, 128, 199] {
+            assert!(!s.contains(v));
+            assert!(s.insert(v));
+            assert!(s.contains(v));
+            assert!(!s.insert(v));
+        }
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        s.insert(9);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(300);
+        for v in [250, 3, 64, 150] {
+            s.insert(v);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![3, 64, 150, 250]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(10);
+        s.contains(10);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

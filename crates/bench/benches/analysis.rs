@@ -1,0 +1,38 @@
+//! Microbenchmarks for the profile analyses of §3.1: basic blocks, the
+//! dynamic CFG with pruning, and the reaching-probability computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specmt::analysis::{BasicBlocks, BlockStream, DynCfg, ReachingAnalysis};
+use specmt::spawn::{profile_pairs, ProfileConfig};
+use specmt::trace::Trace;
+use specmt::workloads::{self, Scale};
+
+fn bench_analysis(c: &mut Criterion) {
+    let w = workloads::gcc(Scale::Small);
+    let trace = Trace::generate(w.program.clone(), w.step_budget).expect("traces");
+    let bbs = BasicBlocks::of(trace.program());
+    let stream = BlockStream::new(&trace, &bbs);
+
+    c.bench_function("block_stream", |b| {
+        b.iter(|| BlockStream::new(&trace, &bbs))
+    });
+    c.bench_function("cfg_build_and_prune", |b| {
+        b.iter(|| {
+            let mut cfg = DynCfg::build(&stream, &bbs);
+            cfg.prune_to_coverage(0.9)
+        })
+    });
+    let mut cfg = DynCfg::build(&stream, &bbs);
+    cfg.prune_to_coverage(0.9);
+    let kept = cfg.kept_blocks();
+    c.bench_function("reaching_analysis", |b| {
+        b.iter(|| ReachingAnalysis::compute(&stream, &kept))
+    });
+    c.bench_function("profile_pairs_end_to_end", |b| {
+        b.iter(|| profile_pairs(&trace, &ProfileConfig::default()))
+    });
+    let _ = workloads::SUITE_NAMES;
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks for the predictor tables (gshare, stride, FCM).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use specmt::isa::Pc;
+use specmt::predict::{
+    FcmPredictor, Gshare, LastValuePredictor, PredKey, StridePredictor, ValuePredictor,
+    PAPER_BUDGET_BYTES,
+};
+
+const OPS: u64 = 10_000;
+
+fn bench_gshare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gshare");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("predict_update", |b| {
+        let mut gs = Gshare::paper();
+        b.iter(|| {
+            let mut taken_count = 0u64;
+            for i in 0..OPS {
+                let pc = Pc((i % 97) as u32);
+                if gs.predict(pc) {
+                    taken_count += 1;
+                }
+                gs.update(pc, i % 3 != 0);
+            }
+            taken_count
+        })
+    });
+    g.finish();
+}
+
+fn bench_value_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("value_predictors");
+    g.throughput(Throughput::Elements(OPS));
+    let run = |p: &mut dyn ValuePredictor| {
+        let mut hits = 0u64;
+        for i in 0..OPS {
+            let key = PredKey {
+                sp_pc: (i % 13) as u32,
+                cqip_pc: (i % 29) as u32,
+                reg: (i % 32) as u8,
+            };
+            let actual = i * 8;
+            if p.predict(key) == actual {
+                hits += 1;
+            }
+            p.train(key, actual);
+        }
+        hits
+    };
+    g.bench_function("stride", |b| {
+        let mut p = StridePredictor::with_budget(PAPER_BUDGET_BYTES);
+        b.iter(|| run(&mut p))
+    });
+    g.bench_function("fcm", |b| {
+        let mut p = FcmPredictor::with_budget(PAPER_BUDGET_BYTES);
+        b.iter(|| run(&mut p))
+    });
+    g.bench_function("last_value", |b| {
+        let mut p = LastValuePredictor::with_budget(PAPER_BUDGET_BYTES);
+        b.iter(|| run(&mut p))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gshare, bench_value_predictors);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Microbenchmarks for the functional emulator / trace generation —
+//! the substrate every experiment starts from (our stand-in for ATOM).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use specmt::trace::Trace;
+use specmt::workloads::{self, Scale};
+
+fn bench_tracegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracegen");
+    for name in ["compress", "ijpeg", "gcc"] {
+        let w = workloads::by_name(name, Scale::Small).expect("known workload");
+        let len = Trace::generate(w.program.clone(), w.step_budget)
+            .expect("traces")
+            .len() as u64;
+        g.throughput(Throughput::Elements(len));
+        g.bench_function(name, |b| {
+            b.iter(|| Trace::generate(w.program.clone(), w.step_budget).expect("traces"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracegen);
+criterion_main!(benches);

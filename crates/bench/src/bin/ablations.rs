@@ -1,0 +1,206 @@
+//! Ablation studies for the design parameters the paper fixes by fiat:
+//! the selection thresholds (probability 0.95, distance 32, coverage 90%),
+//! the value-predictor budget (16 KB), the inter-unit forward latency
+//! (3 cycles) and the thread-unit count — plus a three-way policy shootout
+//! adding the related-work MEM-slicing scheme.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p specmt-bench --bin ablations
+//! ```
+
+use specmt::predict::ValuePredictorKind;
+use specmt::sim::SimConfig;
+use specmt::spawn::{memslice_pairs, MemSliceConfig, ProfileConfig};
+use specmt::stats::{harmonic_mean, Table};
+use specmt_bench::{best_profile_config, Harness};
+
+fn hmean_for(h: &Harness, cfg: &SimConfig, profile_cfg: Option<&ProfileConfig>) -> f64 {
+    let speedups: Vec<f64> = h
+        .benches
+        .iter()
+        .map(|ctx| {
+            let table = match profile_cfg {
+                None => ctx.profile.table.clone(),
+                Some(pc) => ctx.bench.profile_table(pc).table,
+            };
+            let r = ctx.bench.run(cfg.clone(), &table);
+            ctx.bench.speedup(&r)
+        })
+        .collect();
+    harmonic_mean(&speedups)
+}
+
+fn main() {
+    let h = Harness::load();
+    println!(
+        "ablations at {:?} scale (hmean speed-up over the suite)\n",
+        h.scale
+    );
+    let base = best_profile_config(16);
+
+    // --- Selection thresholds -------------------------------------------
+    let mut t = Table::new(&["min probability", "hmean"]);
+    for p in [0.5, 0.8, 0.9, 0.95, 0.99] {
+        let cfg = ProfileConfig {
+            min_prob: p,
+            ..ProfileConfig::default()
+        };
+        t.row_owned(vec![
+            format!("{p:.2}"),
+            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(&["min distance", "hmean"]);
+    for d in [8.0, 16.0, 32.0, 64.0, 128.0] {
+        let cfg = ProfileConfig {
+            min_distance: d,
+            ..ProfileConfig::default()
+        };
+        t.row_owned(vec![
+            format!("{d}"),
+            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(&["max distance", "hmean"]);
+    for d in [100.0, 200.0, 300.0, 600.0, f64::INFINITY] {
+        let cfg = ProfileConfig {
+            max_distance: (d.is_finite()).then_some(d),
+            ..ProfileConfig::default()
+        };
+        t.row_owned(vec![
+            if d.is_finite() {
+                format!("{d}")
+            } else {
+                "unbounded".into()
+            },
+            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(&["CFG coverage", "hmean"]);
+    for c in [0.5, 0.7, 0.9, 0.99] {
+        let cfg = ProfileConfig {
+            coverage: c,
+            ..ProfileConfig::default()
+        };
+        t.row_owned(vec![
+            format!("{c:.2}"),
+            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- Hardware parameters --------------------------------------------
+    let mut t = Table::new(&["thread units", "perfect", "stride"]);
+    for tus in [2usize, 4, 8, 16, 32] {
+        let p = hmean_for(&h, &best_profile_config(tus), None);
+        let s = hmean_for(
+            &h,
+            &best_profile_config(tus).with_value_predictor(ValuePredictorKind::Stride),
+            None,
+        );
+        t.row_owned(vec![format!("{tus}"), format!("{p:.2}"), format!("{s:.2}")]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(&["predictor budget", "hmean (stride)", "accuracy"]);
+    for kb in [1usize, 4, 16, 64] {
+        let mut cfg = best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride);
+        cfg.predictor_budget = kb * 1024;
+        let mut speedups = Vec::new();
+        let mut accs = Vec::new();
+        for ctx in &h.benches {
+            let r = ctx.bench.run(cfg.clone(), &ctx.profile.table);
+            speedups.push(ctx.bench.speedup(&r));
+            accs.push(r.value_hit_ratio());
+        }
+        t.row_owned(vec![
+            format!("{kb} KB"),
+            format!("{:.2}", harmonic_mean(&speedups)),
+            format!(
+                "{:.1}%",
+                100.0 * accs.iter().sum::<f64>() / accs.len() as f64
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(&["forward latency", "perfect", "stride"]);
+    for fwd in [0u64, 1, 3, 6, 10] {
+        let mut pc = best_profile_config(16);
+        pc.forward_latency = fwd;
+        let mut sc = pc.clone().with_value_predictor(ValuePredictorKind::Stride);
+        sc.forward_latency = fwd;
+        t.row_owned(vec![
+            format!("{fwd}"),
+            format!("{:.2}", hmean_for(&h, &pc, None)),
+            format!("{:.2}", hmean_for(&h, &sc, None)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- Value-predictor kinds -------------------------------------------
+    let mut t = Table::new(&["predictor", "hmean", "accuracy"]);
+    for kind in [
+        ValuePredictorKind::Perfect,
+        ValuePredictorKind::Stride,
+        ValuePredictorKind::Fcm,
+        ValuePredictorKind::Hybrid,
+        ValuePredictorKind::LastValue,
+        ValuePredictorKind::None,
+    ] {
+        let cfg = best_profile_config(16).with_value_predictor(kind);
+        let mut speedups = Vec::new();
+        let mut accs = Vec::new();
+        for ctx in &h.benches {
+            let r = ctx.bench.run(cfg.clone(), &ctx.profile.table);
+            speedups.push(ctx.bench.speedup(&r));
+            accs.push(r.value_hit_ratio());
+        }
+        t.row_owned(vec![
+            kind.to_string(),
+            format!("{:.2}", harmonic_mean(&speedups)),
+            format!(
+                "{:.1}%",
+                100.0 * accs.iter().sum::<f64>() / accs.len() as f64
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- Policy shootout incl. MEM-slicing ------------------------------
+    let mut t = Table::new(&["bench", "profile", "heuristics", "mem-slice"]);
+    let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
+    for ctx in &h.benches {
+        let mem_table = memslice_pairs(ctx.bench.trace(), &MemSliceConfig::default());
+        let sp = |table| {
+            let r = ctx.bench.run(best_profile_config(16), table);
+            ctx.bench.speedup(&r)
+        };
+        let vals = [sp(&ctx.profile.table), sp(&ctx.heuristics), sp(&mem_table)];
+        for (c, v) in cols.iter_mut().zip(vals) {
+            c.push(v);
+        }
+        t.row_owned(vec![
+            ctx.bench.name().into(),
+            format!("{:.2}", vals[0]),
+            format!("{:.2}", vals[1]),
+            format!("{:.2}", vals[2]),
+        ]);
+    }
+    t.row_owned(vec![
+        "Hmean".into(),
+        format!("{:.2}", harmonic_mean(&cols[0])),
+        format!("{:.2}", harmonic_mean(&cols[1])),
+        format!("{:.2}", harmonic_mean(&cols[2])),
+    ]);
+    println!("{}", t.render());
+    println!("(all three policies run with the minimum-size mechanism enabled)");
+}

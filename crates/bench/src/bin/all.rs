@@ -1,0 +1,19 @@
+//! Regenerates every figure of the paper's evaluation section and persists
+//! machine-readable results under `target/specmt-results/`.
+
+fn main() {
+    let start = std::time::Instant::now();
+    let harness = specmt_bench::Harness::load();
+    println!(
+        "suite loaded at {:?} scale in {:.1}s\n",
+        harness.scale,
+        start.elapsed().as_secs_f64()
+    );
+    for fig in specmt_bench::figures::all(&harness) {
+        fig.print();
+        if let Err(e) = fig.save() {
+            eprintln!("could not persist {}: {e}", fig.id);
+        }
+    }
+    println!("total {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,87 @@
+//! Cross-input validation of the profile-based spawning scheme.
+//!
+//! SPEC methodology distinguishes *training* inputs (for profiling) from
+//! *reference* inputs (for reporting); the paper profiles and evaluates on
+//! training data. This harness asks the question that setup leaves open:
+//! **do spawning pairs selected on one input still work on another?**
+//!
+//! For every benchmark it selects pairs on the training input, then
+//! simulates the reference input (different data, 25 % more work) with
+//! (a) the training-selected pairs and (b) pairs selected on the reference
+//! input itself — the self-profiled upper bound.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p specmt-bench --bin crossinput
+//! ```
+
+use specmt::spawn::ProfileConfig;
+use specmt::stats::{harmonic_mean, Table};
+use specmt::workloads::{InputSet, SUITE_NAMES};
+use specmt::Bench;
+use specmt_bench::{best_profile_config, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("cross-input validation at {scale:?} scale\n");
+
+    let mut table = Table::new(&[
+        "bench",
+        "train-profiled",
+        "self-profiled",
+        "transfer",
+        "pair overlap",
+    ]);
+    let mut cross = Vec::new();
+    let mut selfp = Vec::new();
+    for name in SUITE_NAMES {
+        let train = Bench::from_workload(
+            specmt::workloads::by_name_with_input(name, scale, InputSet::Train).expect("suite"),
+        )
+        .expect("train traces");
+        let reference = Bench::from_workload(
+            specmt::workloads::by_name_with_input(name, scale, InputSet::Ref).expect("suite"),
+        )
+        .expect("ref traces");
+
+        let train_pairs = train.profile_table(&ProfileConfig::default()).table;
+        let ref_pairs = reference.profile_table(&ProfileConfig::default()).table;
+
+        let cfg = best_profile_config(16);
+        let with_train = reference.speedup(&reference.run(cfg.clone(), &train_pairs));
+        let with_self = reference.speedup(&reference.run(cfg, &ref_pairs));
+        cross.push(with_train);
+        selfp.push(with_self);
+
+        // Structural overlap: (sp, cqip) pairs found by both profiles.
+        let in_ref: std::collections::HashSet<(u32, u32)> =
+            ref_pairs.iter().map(|p| (p.sp.0, p.cqip.0)).collect();
+        let shared = train_pairs
+            .iter()
+            .filter(|p| in_ref.contains(&(p.sp.0, p.cqip.0)))
+            .count();
+        table.row_owned(vec![
+            name.into(),
+            format!("{with_train:.2}"),
+            format!("{with_self:.2}"),
+            format!("{:.0}%", 100.0 * with_train / with_self),
+            format!("{}/{}", shared, ref_pairs.num_pairs()),
+        ]);
+    }
+    table.row_owned(vec![
+        "Hmean".into(),
+        format!("{:.2}", harmonic_mean(&cross)),
+        format!("{:.2}", harmonic_mean(&selfp)),
+        format!(
+            "{:.0}%",
+            100.0 * harmonic_mean(&cross) / harmonic_mean(&selfp)
+        ),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "transfer = speed-up with training-selected pairs relative to self-profiled pairs\n\
+         on the reference input; overlap = training pairs also selected by a reference\n\
+         profile. High transfer validates the paper's profile-once methodology."
+    );
+}

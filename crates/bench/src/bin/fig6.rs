@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 6 on the synthetic suite.
+
+fn main() {
+    let harness = specmt_bench::Harness::load();
+    let fig = specmt_bench::figures::fig6(&harness);
+    fig.print();
+    match fig.save() {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

@@ -1,0 +1,707 @@
+//! One function per figure of the paper's evaluation.
+//!
+//! Every function regenerates the corresponding table/series and returns a
+//! [`Figure`] carrying both the rendered table and machine-readable JSON.
+//! Paper reference values quoted in the notes come from §4 of Marcuello &
+//! González (HPCA 2002).
+
+use serde_json::json;
+
+use specmt::predict::ValuePredictorKind;
+use specmt::sim::{RemovalPolicy, SimConfig};
+use specmt::spawn::{OrderCriterion, ProfileConfig};
+use specmt::stats::{arithmetic_mean, harmonic_mean, Table};
+
+use crate::{best_profile_config, f2, pct, standard_removal, Figure, Harness};
+
+fn hmean_of(rows: &[(&'static str, f64, specmt::sim::SimResult)]) -> f64 {
+    harmonic_mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())
+}
+
+/// Figure 2: number of selected basic-block pairs and number of distinct
+/// spawning points per benchmark.
+pub fn fig2(h: &Harness) -> Figure {
+    let mut table = Table::new(&[
+        "bench",
+        "selected pairs",
+        "distinct SPs",
+        "kept blocks",
+        "coverage",
+    ]);
+    let mut pairs = Vec::new();
+    let mut sps = Vec::new();
+    let mut json_rows = Vec::new();
+    for ctx in &h.benches {
+        let p = &ctx.profile;
+        table.row_owned(vec![
+            ctx.bench.name().into(),
+            p.selected_pairs.to_string(),
+            p.distinct_sps.to_string(),
+            p.kept_blocks.to_string(),
+            pct(p.coverage),
+        ]);
+        pairs.push(p.selected_pairs as f64);
+        sps.push(p.distinct_sps as f64);
+        json_rows.push(json!({
+            "bench": ctx.bench.name(),
+            "selected_pairs": p.selected_pairs,
+            "distinct_sps": p.distinct_sps,
+            "kept_blocks": p.kept_blocks,
+            "coverage": p.coverage,
+        }));
+    }
+    table.row_owned(vec![
+        "Amean".into(),
+        f2(arithmetic_mean(&pairs)),
+        f2(arithmetic_mean(&sps)),
+    ]);
+    Figure {
+        id: "fig2",
+        title: "Selected spawning pairs (min prob 0.95, min distance 32)".into(),
+        table,
+        notes: vec![
+            "Paper (SpecInt95): 6218 pairs / 499 distinct SPs on average — real programs".into(),
+            "have orders of magnitude more hot basic blocks than the synthetic suite.".into(),
+        ],
+        json: json!({"rows": json_rows}),
+    }
+}
+
+/// Figure 3: speed-up over single-threaded execution, 16 thread units,
+/// profile-based policy, perfect value prediction.
+pub fn fig3(h: &Harness) -> Figure {
+    let rows = h.run_profile(&SimConfig::paper(16));
+    let mut table = Table::new(&["bench", "speed-up"]);
+    for (name, sp, _) in &rows {
+        table.row_owned(vec![(*name).into(), f2(*sp)]);
+    }
+    let hm = hmean_of(&rows);
+    table.row_owned(vec!["Hmean".into(), f2(hm)]);
+    Figure {
+        id: "fig3",
+        title: "Speed-up, 16 TUs, profile-based spawning, perfect value prediction".into(),
+        table,
+        notes: vec![format!(
+            "Paper: Hmean 7.2, ijpeg 11.9 (highest). Measured Hmean {}.",
+            f2(hm)
+        )],
+        json: json!({"speedups": rows.iter().map(|(n, s, _)| json!({"bench": n, "speedup": s})).collect::<Vec<_>>(), "hmean": hm}),
+    }
+}
+
+/// Figure 4: average number of active threads for the Figure 3 runs.
+pub fn fig4(h: &Harness) -> Figure {
+    let rows = h.run_profile(&SimConfig::paper(16));
+    let mut table = Table::new(&["bench", "active threads"]);
+    let mut acts = Vec::new();
+    for (name, _, r) in &rows {
+        let a = r.avg_active_threads();
+        acts.push(a);
+        table.row_owned(vec![(*name).into(), f2(a)]);
+    }
+    let am = arithmetic_mean(&acts);
+    table.row_owned(vec!["Amean".into(), f2(am)]);
+    Figure {
+        id: "fig4",
+        title: "Average active threads, 16 TUs, profile-based spawning".into(),
+        table,
+        notes: vec![format!(
+            "Paper: Amean 7.5, ijpeg 9.0. Measured Amean {}.",
+            f2(am)
+        )],
+        json: json!({"active": rows.iter().map(|(n, _, r)| json!({"bench": n, "active": r.avg_active_threads()})).collect::<Vec<_>>(), "amean": am}),
+    }
+}
+
+/// Figure 5a: spawning-pair removal after executing alone — never, 50
+/// cycles, 200 cycles (first occurrence removes, the paper's protocol).
+pub fn fig5a(h: &Harness) -> Figure {
+    let configs: [(&str, Option<u64>); 3] = [
+        ("no removal", None),
+        ("removal 50", Some(50)),
+        ("removal 200", Some(200)),
+    ];
+    let mut table = Table::new(&["bench", "no removal", "removal 50", "removal 200"]);
+    let mut series = vec![Vec::new(); 3];
+    for ctx in &h.benches {
+        let mut cells = vec![ctx.bench.name().to_string()];
+        for (i, (_, alone)) in configs.iter().enumerate() {
+            let mut cfg = SimConfig::paper(16);
+            if let Some(a) = alone {
+                cfg = cfg.with_removal(RemovalPolicy {
+                    alone_cycles: *a,
+                    occurrences: 1,
+                    reinstate_after: None,
+                    max_companions: 0,
+                });
+            }
+            let r = ctx.bench.run(cfg, &ctx.profile.table);
+            let sp = ctx.bench.speedup(&r);
+            series[i].push(sp);
+            cells.push(f2(sp));
+        }
+        table.row_owned(cells);
+    }
+    let hmeans: Vec<f64> = series.iter().map(|s| harmonic_mean(s)).collect();
+    table.row_owned(
+        std::iter::once("Hmean".to_string())
+            .chain(hmeans.iter().map(|&v| f2(v)))
+            .collect(),
+    );
+    Figure {
+        id: "fig5a",
+        title: "Pair removal after executing alone (1 occurrence removes)".into(),
+        table,
+        notes: vec![
+            "Paper: 200-cycle removal ~10% over no removal; compress collapses at 50".into(),
+            "cycles (too few pairs). With our small synthetic tables, first-occurrence".into(),
+            "removal collapses more benchmarks — Figure 5b's delayed removal recovers them.".into(),
+        ],
+        json: json!({"hmeans": {"none": hmeans[0], "alone50": hmeans[1], "alone200": hmeans[2]}}),
+    }
+}
+
+/// Figure 5b: delaying removal until 1/8/16 occurrences (50-cycle scheme).
+pub fn fig5b(h: &Harness) -> Figure {
+    let occs = [1u32, 8, 16];
+    let mut table = Table::new(&["bench", "1 occurrence", "8 occurrences", "16 occurrences"]);
+    let mut series = vec![Vec::new(); 3];
+    for ctx in &h.benches {
+        let mut cells = vec![ctx.bench.name().to_string()];
+        for (i, occ) in occs.iter().enumerate() {
+            let cfg = SimConfig::paper(16).with_removal(RemovalPolicy {
+                alone_cycles: 50,
+                occurrences: *occ,
+                reinstate_after: None,
+                max_companions: 0,
+            });
+            let r = ctx.bench.run(cfg, &ctx.profile.table);
+            let sp = ctx.bench.speedup(&r);
+            series[i].push(sp);
+            cells.push(f2(sp));
+        }
+        table.row_owned(cells);
+    }
+    let hmeans: Vec<f64> = series.iter().map(|s| harmonic_mean(s)).collect();
+    table.row_owned(
+        std::iter::once("Hmean".to_string())
+            .chain(hmeans.iter().map(|&v| f2(v)))
+            .collect(),
+    );
+    Figure {
+        id: "fig5b",
+        title: "Delayed pair removal: occurrences before cancelling (50-cycle scheme)".into(),
+        table,
+        notes: vec![
+            "Paper: delaying mostly helps compress (hugely) and slightly hurts the rest.".into(),
+            "Measured: the delay rescues every benchmark that collapsed at 1 occurrence.".into(),
+        ],
+        json: json!({"hmeans": {"occ1": hmeans[0], "occ8": hmeans[1], "occ16": hmeans[2]}}),
+    }
+}
+
+/// Figure 6: the reassign policy (fall back to the next CQIP) compared with
+/// the standard removal scheme.
+pub fn fig6(h: &Harness) -> Figure {
+    let mut table = Table::new(&["bench", "removal", "reassign"]);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for ctx in &h.benches {
+        let base_cfg = SimConfig::paper(16).with_removal(standard_removal(ctx.bench.name()));
+        let mut re_cfg = base_cfg.clone();
+        re_cfg.reassign = true;
+        let r1 = ctx.bench.run(base_cfg, &ctx.profile.table);
+        let r2 = ctx.bench.run(re_cfg, &ctx.profile.table);
+        let s1 = ctx.bench.speedup(&r1);
+        let s2 = ctx.bench.speedup(&r2);
+        a.push(s1);
+        b.push(s2);
+        table.row_owned(vec![ctx.bench.name().into(), f2(s1), f2(s2)]);
+    }
+    let (h1, h2) = (harmonic_mean(&a), harmonic_mean(&b));
+    table.row_owned(vec!["Hmean".into(), f2(h1), f2(h2)]);
+    Figure {
+        id: "fig6",
+        title: "Reassign policy vs the 50-cycle removal scheme (200 for compress)".into(),
+        table,
+        notes: vec![format!(
+            "Paper: reassign is slightly worse (falls back to too-close CQIPs). Measured: {} vs {}.",
+            f2(h1),
+            f2(h2)
+        )],
+        json: json!({"removal": h1, "reassign": h2}),
+    }
+}
+
+/// Figure 7a: average committed thread size under the standard removal
+/// scheme.
+pub fn fig7a(h: &Harness) -> Figure {
+    let mut table = Table::new(&["bench", "mean size", "median size"]);
+    let mut sizes = Vec::new();
+    let mut medians = Vec::new();
+    for ctx in &h.benches {
+        let cfg = SimConfig::paper(16).with_removal(standard_removal(ctx.bench.name()));
+        let r = ctx.bench.run(cfg, &ctx.profile.table);
+        let s = r.avg_thread_size();
+        let m = r.median_thread_size();
+        sizes.push(s);
+        medians.push(m);
+        table.row_owned(vec![ctx.bench.name().into(), f2(s), f2(m)]);
+    }
+    let am = arithmetic_mean(&sizes);
+    let md = arithmetic_mean(&medians);
+    table.row_owned(vec!["Amean".into(), f2(am), f2(md)]);
+    Figure {
+        id: "fig7a",
+        title: "Committed thread size (instructions), standard removal".into(),
+        table,
+        notes: vec![
+            "Paper: most benchmarks below the 32-instruction selection minimum — the".into(),
+            "overlapped spawning of later pairs cuts threads short. The *median* shows".into(),
+            "it here too; the mean is skewed by a few giant threads.".into(),
+        ],
+        json: json!({"amean": am, "median_amean": md, "sizes": sizes, "medians": medians}),
+    }
+}
+
+/// Figure 7b: enforcing a minimum observed thread size of 32.
+///
+/// Protocol note: the paper layers the minimum on top of the alone-removal
+/// scheme; with our small pair tables the two removal mechanisms compound
+/// destructively, so the minimum is applied to the base policy here (see
+/// EXPERIMENTS.md).
+pub fn fig7b(h: &Harness) -> Figure {
+    let mut table = Table::new(&["bench", "no minimum", "minimum 32"]);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for ctx in &h.benches {
+        let base_cfg = SimConfig::paper(16);
+        let min_cfg = crate::with_min_size(base_cfg.clone());
+        let s1 = ctx
+            .bench
+            .speedup(&ctx.bench.run(base_cfg, &ctx.profile.table));
+        let s2 = ctx
+            .bench
+            .speedup(&ctx.bench.run(min_cfg, &ctx.profile.table));
+        a.push(s1);
+        b.push(s2);
+        table.row_owned(vec![ctx.bench.name().into(), f2(s1), f2(s2)]);
+    }
+    let (h1, h2) = (harmonic_mean(&a), harmonic_mean(&b));
+    table.row_owned(vec!["Hmean".into(), f2(h1), f2(h2)]);
+    Figure {
+        id: "fig7b",
+        title: "Enforcing a minimum observed thread size of 32".into(),
+        table,
+        notes: vec![format!(
+            "Paper: ~10% improvement. Measured: {} -> {} ({:+.1}%).",
+            f2(h1),
+            f2(h2),
+            (h2 / h1 - 1.0) * 100.0
+        )],
+        json: json!({"no_min": h1, "min32": h2}),
+    }
+}
+
+/// Figure 8: the profile-based policy (with its dynamic mechanisms) against
+/// the combined construct heuristics.
+pub fn fig8(h: &Harness) -> Figure {
+    let prof = h.run_with(&best_profile_config(16), |c| &c.profile.table);
+    let heur = h.run_heuristics(&SimConfig::paper(16));
+    let mut table = Table::new(&["bench", "profile", "heuristics", "ratio"]);
+    let mut ratios = Vec::new();
+    for ((name, sp, _), (_, sh, _)) in prof.iter().zip(&heur) {
+        let ratio = sp / sh;
+        ratios.push(ratio);
+        table.row_owned(vec![(*name).into(), f2(*sp), f2(*sh), f2(ratio)]);
+    }
+    let (hp, hh) = (hmean_of(&prof), hmean_of(&heur));
+    table.row_owned(vec!["Hmean".into(), f2(hp), f2(hh), f2(hp / hh)]);
+    Figure {
+        id: "fig8",
+        title: "Profile-based policy vs combined heuristics (speed-up ratio)".into(),
+        table,
+        notes: vec![format!(
+            "Paper: ~20% overall win, >10% on most, perl an 8% loss (work imbalance). Measured overall: {:+.1}%.",
+            (hp / hh - 1.0) * 100.0
+        )],
+        json: json!({"profile": hp, "heuristics": hh, "ratios": ratios}),
+    }
+}
+
+/// Figure 9a: live-in value-prediction accuracy for stride and context
+/// (FCM) predictors under both spawning policies.
+pub fn fig9a(h: &Harness) -> Figure {
+    let kinds = [ValuePredictorKind::Stride, ValuePredictorKind::Fcm];
+    let mut table = Table::new(&[
+        "bench",
+        "stride+profile",
+        "fcm+profile",
+        "stride+heur",
+        "fcm+heur",
+    ]);
+    let mut sums = vec![Vec::new(); 4];
+    for ctx in &h.benches {
+        let mut cells = vec![ctx.bench.name().to_string()];
+        let mut vals = Vec::new();
+        for kind in kinds {
+            for profile in [true, false] {
+                let (cfg, t) = if profile {
+                    (
+                        best_profile_config(16).with_value_predictor(kind),
+                        &ctx.profile.table,
+                    )
+                } else {
+                    (
+                        SimConfig::paper(16).with_value_predictor(kind),
+                        &ctx.heuristics,
+                    )
+                };
+                let r = ctx.bench.run(cfg, t);
+                vals.push(r.value_hit_ratio());
+            }
+        }
+        // vals = [stride+prof, stride+heur, fcm+prof, fcm+heur]
+        let ordered = [vals[0], vals[2], vals[1], vals[3]];
+        for (i, v) in ordered.iter().enumerate() {
+            sums[i].push(*v);
+            cells.push(pct(*v));
+        }
+        table.row_owned(cells);
+    }
+    let means: Vec<f64> = sums.iter().map(|s| arithmetic_mean(s)).collect();
+    table.row_owned(
+        std::iter::once("Amean".to_string())
+            .chain(means.iter().map(|&v| pct(v)))
+            .collect(),
+    );
+    Figure {
+        id: "fig9a",
+        title: "Value-prediction hit ratio (16 KB tables, thread live-ins only)".into(),
+        table,
+        notes: vec![format!(
+            "Paper: ~70% for all four combinations. Measured means: {} / {} / {} / {}.",
+            pct(means[0]),
+            pct(means[1]),
+            pct(means[2]),
+            pct(means[3])
+        )],
+        json: json!({"amean": {"stride_profile": means[0], "fcm_profile": means[1], "stride_heur": means[2], "fcm_heur": means[3]}}),
+    }
+}
+
+/// Figure 9b: speed-ups with perfect vs stride value prediction, both
+/// policies.
+pub fn fig9b(h: &Harness) -> Figure {
+    let runs: Vec<(&str, Vec<(&'static str, f64, specmt::sim::SimResult)>)> = vec![
+        (
+            "perfect+profile",
+            h.run_with(&best_profile_config(16), |c| &c.profile.table),
+        ),
+        (
+            "stride+profile",
+            h.run_with(
+                &best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride),
+                |c| &c.profile.table,
+            ),
+        ),
+        (
+            "perfect+heuristics",
+            h.run_heuristics(&SimConfig::paper(16)),
+        ),
+        (
+            "stride+heuristics",
+            h.run_heuristics(
+                &SimConfig::paper(16).with_value_predictor(ValuePredictorKind::Stride),
+            ),
+        ),
+    ];
+    let mut table = Table::new(&[
+        "bench",
+        "perfect+profile",
+        "stride+profile",
+        "perfect+heur",
+        "stride+heur",
+    ]);
+    for (i, ctx) in h.benches.iter().enumerate() {
+        let mut cells = vec![ctx.bench.name().to_string()];
+        for (_, rows) in &runs {
+            cells.push(f2(rows[i].1));
+        }
+        table.row_owned(cells);
+    }
+    let hmeans: Vec<f64> = runs.iter().map(|(_, rows)| hmean_of(rows)).collect();
+    table.row_owned(
+        std::iter::once("Hmean".to_string())
+            .chain(hmeans.iter().map(|&v| f2(v)))
+            .collect(),
+    );
+    Figure {
+        id: "fig9b",
+        title: "Speed-ups with a realistic stride value predictor".into(),
+        table,
+        notes: vec![
+            format!(
+                "Paper: profile 7.2 -> >6 with stride (-34%), heuristics -> ~5.5 (-30%), gap narrows to 13%."
+            ),
+            format!(
+                "Measured: profile {} -> {} ({:+.1}%), heuristics {} -> {} ({:+.1}%).",
+                f2(hmeans[0]),
+                f2(hmeans[1]),
+                (hmeans[1] / hmeans[0] - 1.0) * 100.0,
+                f2(hmeans[2]),
+                f2(hmeans[3]),
+                (hmeans[3] / hmeans[2] - 1.0) * 100.0
+            ),
+        ],
+        json: json!({"hmeans": {"perfect_profile": hmeans[0], "stride_profile": hmeans[1], "perfect_heur": hmeans[2], "stride_heur": hmeans[3]}}),
+    }
+}
+
+fn criterion_tables(h: &Harness, criterion: OrderCriterion) -> Vec<specmt::spawn::SpawnTable> {
+    h.benches
+        .iter()
+        .map(|ctx| {
+            ctx.bench
+                .profile_table(&ProfileConfig {
+                    criterion,
+                    ..ProfileConfig::default()
+                })
+                .table
+        })
+        .collect()
+}
+
+/// Figure 10a: prediction accuracy when CQIPs are chosen by the
+/// *independent* / *predictable* criteria.
+pub fn fig10a(h: &Harness) -> Figure {
+    let indep = criterion_tables(h, OrderCriterion::Independent);
+    let pred = criterion_tables(h, OrderCriterion::Predictable);
+    let kinds = [ValuePredictorKind::Stride, ValuePredictorKind::Fcm];
+    let mut table = Table::new(&[
+        "bench",
+        "stride+indep",
+        "fcm+indep",
+        "stride+pred",
+        "fcm+pred",
+    ]);
+    let mut sums = vec![Vec::new(); 4];
+    for (i, ctx) in h.benches.iter().enumerate() {
+        let mut cells = vec![ctx.bench.name().to_string()];
+        let mut col = 0;
+        for tables in [&indep, &pred] {
+            for kind in kinds {
+                let cfg = best_profile_config(16).with_value_predictor(kind);
+                let r = ctx.bench.run(cfg, &tables[i]);
+                let v = r.value_hit_ratio();
+                sums[col].push(v);
+                cells.push(pct(v));
+                col += 1;
+            }
+        }
+        table.row_owned(cells);
+    }
+    let means: Vec<f64> = sums.iter().map(|s| arithmetic_mean(s)).collect();
+    table.row_owned(
+        std::iter::once("Amean".to_string())
+            .chain(means.iter().map(|&v| pct(v)))
+            .collect(),
+    );
+    Figure {
+        id: "fig10a",
+        title: "Prediction accuracy for the independent / predictable CQIP criteria".into(),
+        table,
+        notes: vec![
+            "Paper: the predictable-oriented policy reaches the best hit ratio (~75%).".into(),
+        ],
+        json: json!({"amean": {"stride_indep": means[0], "fcm_indep": means[1], "stride_pred": means[2], "fcm_pred": means[3]}}),
+    }
+}
+
+/// Figure 10b: speed-ups of the independent / predictable criteria with a
+/// stride predictor.
+pub fn fig10b(h: &Harness) -> Figure {
+    let indep = criterion_tables(h, OrderCriterion::Independent);
+    let pred = criterion_tables(h, OrderCriterion::Predictable);
+    let cfg = best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride);
+    let mut table = Table::new(&["bench", "max-distance", "independent", "predictable"]);
+    let mut sums = vec![Vec::new(); 3];
+    for (i, ctx) in h.benches.iter().enumerate() {
+        let s0 = ctx
+            .bench
+            .speedup(&ctx.bench.run(cfg.clone(), &ctx.profile.table));
+        let s1 = ctx.bench.speedup(&ctx.bench.run(cfg.clone(), &indep[i]));
+        let s2 = ctx.bench.speedup(&ctx.bench.run(cfg.clone(), &pred[i]));
+        for (v, s) in sums.iter_mut().zip([s0, s1, s2]) {
+            v.push(s);
+        }
+        table.row_owned(vec![ctx.bench.name().into(), f2(s0), f2(s1), f2(s2)]);
+    }
+    let hmeans: Vec<f64> = sums.iter().map(|s| harmonic_mean(s)).collect();
+    table.row_owned(
+        std::iter::once("Hmean".to_string())
+            .chain(hmeans.iter().map(|&v| f2(v)))
+            .collect(),
+    );
+    Figure {
+        id: "fig10b",
+        title: "Speed-up of the independent / predictable criteria (stride predictor)".into(),
+        table,
+        notes: vec![format!(
+            "Paper: both ~35% below max-distance (smaller threads). Measured: {:+.1}% / {:+.1}%.",
+            (hmeans[1] / hmeans[0] - 1.0) * 100.0,
+            (hmeans[2] / hmeans[0] - 1.0) * 100.0
+        )],
+        json: json!({"hmeans": {"max_distance": hmeans[0], "independent": hmeans[1], "predictable": hmeans[2]}}),
+    }
+}
+
+/// Figure 11: slow-down from an 8-cycle thread-initialisation overhead
+/// (stride predictor).
+pub fn fig11(h: &Harness) -> Figure {
+    let mut table = Table::new(&[
+        "bench",
+        "profile (stride)",
+        "heur (stride)",
+        "profile (perfect)",
+        "heur (perfect)",
+    ]);
+    let mut sums = vec![Vec::new(); 4];
+    for ctx in &h.benches {
+        let slow = |cfg: SimConfig, t: &specmt::spawn::SpawnTable| {
+            let c0 = ctx.bench.run(cfg.clone(), t).cycles as f64;
+            let c8 = ctx.bench.run(cfg.with_init_overhead(8), t).cycles as f64;
+            1.0 - c0 / c8
+        };
+        let vals = [
+            slow(
+                best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride),
+                &ctx.profile.table,
+            ),
+            slow(
+                SimConfig::paper(16).with_value_predictor(ValuePredictorKind::Stride),
+                &ctx.heuristics,
+            ),
+            slow(best_profile_config(16), &ctx.profile.table),
+            slow(SimConfig::paper(16), &ctx.heuristics),
+        ];
+        let mut cells = vec![ctx.bench.name().to_string()];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            s.push(v);
+            cells.push(pct(v));
+        }
+        table.row_owned(cells);
+    }
+    let means: Vec<f64> = sums.iter().map(|s| arithmetic_mean(s)).collect();
+    table.row_owned(
+        std::iter::once("Amean".to_string())
+            .chain(means.iter().map(|&v| pct(v)))
+            .collect(),
+    );
+    Figure {
+        id: "fig11",
+        title: "Slow-down from an 8-cycle thread-initialisation overhead".into(),
+        table,
+        notes: vec![
+            format!("Paper (stride predictor): 12% average for both policies (8-16% range)."),
+            format!(
+                "Measured: stride {} / {}; perfect-VP columns added because stride-regime",
+                pct(means[0]),
+                pct(means[1])
+            ),
+            format!(
+                "spawn dynamics are chaotic at this scale: perfect {} / {}.",
+                pct(means[2]),
+                pct(means[3])
+            ),
+        ],
+        json: json!({"stride": {"profile": means[0], "heuristics": means[1]}, "perfect": {"profile": means[2], "heuristics": means[3]}}),
+    }
+}
+
+/// Figure 12: average speed-ups with 4 thread units.
+pub fn fig12(h: &Harness) -> Figure {
+    let stride = ValuePredictorKind::Stride;
+    let runs: Vec<(&str, f64)> = vec![
+        (
+            "profile/perfect",
+            hmean_of(&h.run_with(&best_profile_config(4), |c| &c.profile.table)),
+        ),
+        (
+            "profile/stride",
+            hmean_of(
+                &h.run_with(&best_profile_config(4).with_value_predictor(stride), |c| {
+                    &c.profile.table
+                }),
+            ),
+        ),
+        (
+            "profile/stride+ovh8",
+            hmean_of(
+                &h.run_with(
+                    &best_profile_config(4)
+                        .with_value_predictor(stride)
+                        .with_init_overhead(8),
+                    |c| &c.profile.table,
+                ),
+            ),
+        ),
+        (
+            "heuristics/perfect",
+            hmean_of(&h.run_heuristics(&SimConfig::paper(4))),
+        ),
+        (
+            "heuristics/stride",
+            hmean_of(&h.run_heuristics(&SimConfig::paper(4).with_value_predictor(stride))),
+        ),
+        (
+            "heuristics/stride+ovh8",
+            hmean_of(
+                &h.run_heuristics(
+                    &SimConfig::paper(4)
+                        .with_value_predictor(stride)
+                        .with_init_overhead(8),
+                ),
+            ),
+        ),
+    ];
+    let mut table = Table::new(&["configuration", "Hmean speed-up"]);
+    for (name, v) in &runs {
+        table.row_owned(vec![(*name).into(), f2(*v)]);
+    }
+    Figure {
+        id: "fig12",
+        title: "Average speed-ups with 4 thread units".into(),
+        table,
+        notes: vec![
+            "Paper: profile 2.75 (perfect) / ~2.05 (stride) / ~1.9 (stride + 8-cycle overhead),"
+                .into(),
+            "heuristics slightly lower in each case.".into(),
+        ],
+        json: json!(runs
+            .iter()
+            .map(|(n, v)| json!({"config": n, "hmean": v}))
+            .collect::<Vec<_>>()),
+    }
+}
+
+/// Every figure, in paper order.
+pub fn all(h: &Harness) -> Vec<Figure> {
+    vec![
+        fig2(h),
+        fig3(h),
+        fig4(h),
+        fig5a(h),
+        fig5b(h),
+        fig6(h),
+        fig7a(h),
+        fig7b(h),
+        fig8(h),
+        fig9a(h),
+        fig9b(h),
+        fig10a(h),
+        fig10b(h),
+        fig12(h),
+        fig11(h),
+    ]
+}

@@ -1,0 +1,242 @@
+//! The `specmt` command-line tool: run the paper pipeline from a shell.
+//!
+//! ```text
+//! specmt list [--scale tiny|small|medium|large]
+//! specmt disasm  <workload|file.s>
+//! specmt trace   <workload> --out trace.smtr
+//! specmt pairs   <workload|trace.smtr|file.s> [--policy profile|heuristics|memslice]
+//! specmt simulate <workload|trace.smtr|file.s> [--policy P] [--tus N]
+//!                 [--vp perfect|stride|fcm|hybrid|last|none] [--overhead N] [--min-size N]
+//! specmt run     <file.s>
+//! ```
+//!
+//! Inputs are resolved by suffix: `.smtr` loads a saved binary trace, `.s`
+//! or `.asm` parses assembly text, anything else names a suite workload.
+
+use std::process::ExitCode;
+
+use specmt::predict::ValuePredictorKind;
+use specmt::sim::{SimConfig, Simulator};
+use specmt::spawn::{
+    heuristic_pairs, memslice_pairs, profile_pairs, HeuristicSet, MemSliceConfig, ProfileConfig,
+    SpawnTable,
+};
+use specmt::trace::Trace;
+use specmt::workloads::{Scale, SUITE_NAMES};
+
+type CliError = Box<dyn std::error::Error>;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("specmt: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Result<Args, CliError> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn scale(&self) -> Result<Scale, CliError> {
+        Ok(match self.flag("scale").unwrap_or("medium") {
+            "tiny" => Scale::Tiny,
+            "small" => Scale::Small,
+            "medium" => Scale::Medium,
+            "large" => Scale::Large,
+            other => return Err(format!("unknown scale `{other}`").into()),
+        })
+    }
+}
+
+fn load_trace(input: &str, scale: Scale) -> Result<Trace, CliError> {
+    if input.ends_with(".smtr") {
+        let file = std::fs::File::open(input)?;
+        return Ok(Trace::read_from(std::io::BufReader::new(file))?);
+    }
+    let (program, budget) = if input.ends_with(".s") || input.ends_with(".asm") {
+        let text = std::fs::read_to_string(input)?;
+        (specmt::isa::parse_program(&text)?, 100_000_000)
+    } else {
+        let w = specmt::workloads::by_name(input, scale)
+            .ok_or_else(|| format!("unknown workload `{input}` (try `specmt list`)"))?;
+        (w.program, w.step_budget)
+    };
+    Ok(Trace::generate(program, budget)?)
+}
+
+fn build_table(args: &Args, trace: &Trace) -> Result<SpawnTable, CliError> {
+    Ok(match args.flag("policy").unwrap_or("profile") {
+        "profile" => profile_pairs(trace, &ProfileConfig::default()).table,
+        "heuristics" => heuristic_pairs(trace.program(), HeuristicSet::all()),
+        "memslice" => memslice_pairs(trace, &MemSliceConfig::default()),
+        "none" => SpawnTable::empty(),
+        other => return Err(format!("unknown policy `{other}`").into()),
+    })
+}
+
+fn run(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    let Some(command) = args.positional.first().map(String::as_str) else {
+        print_usage();
+        return Ok(());
+    };
+    let input = args.positional.get(1).map(String::as_str);
+    let scale = args.scale()?;
+
+    match command {
+        "list" => {
+            println!(
+                "{:10} {:>8} {:>12} {:>10}",
+                "workload", "static", "dynamic", "pairs"
+            );
+            for name in SUITE_NAMES {
+                let w = specmt::workloads::by_name(name, scale).expect("suite");
+                let trace = Trace::generate(w.program.clone(), w.step_budget)?;
+                let pairs = profile_pairs(&trace, &ProfileConfig::default());
+                println!(
+                    "{:10} {:>8} {:>12} {:>10}",
+                    name,
+                    w.program.len(),
+                    trace.len(),
+                    pairs.table.num_pairs()
+                );
+            }
+        }
+        "disasm" => {
+            let input = input.ok_or("disasm needs an input")?;
+            let trace = load_trace(input, scale)?;
+            print!("{}", trace.program().disassemble());
+        }
+        "trace" => {
+            let input = input.ok_or("trace needs an input")?;
+            let out = args.flag("out").ok_or("trace needs --out <file>")?;
+            let trace = load_trace(input, scale)?;
+            let file = std::fs::File::create(out)?;
+            trace.write_to(std::io::BufWriter::new(file))?;
+            let bytes = std::fs::metadata(out)?.len();
+            println!(
+                "{}: {} dynamic instructions -> {out} ({bytes} bytes, {:.1} B/record)",
+                input,
+                trace.len(),
+                bytes as f64 / trace.len() as f64
+            );
+        }
+        "pairs" => {
+            let input = input.ok_or("pairs needs an input")?;
+            let trace = load_trace(input, scale)?;
+            let table = build_table(&args, &trace)?;
+            println!(
+                "{} pairs over {} spawning points:",
+                table.num_pairs(),
+                table.num_spawning_points()
+            );
+            for p in table.iter() {
+                println!(
+                    "  {:>6} -> {:<6} prob {:>6.3}  distance {:>8.1}  score {:>10.1}  {:?}",
+                    p.sp.to_string(),
+                    p.cqip.to_string(),
+                    p.prob,
+                    p.avg_dist,
+                    p.score,
+                    p.origin
+                );
+            }
+        }
+        "simulate" => {
+            let input = input.ok_or("simulate needs an input")?;
+            let trace = load_trace(input, scale)?;
+            let table = build_table(&args, &trace)?;
+            let tus: usize = args.flag("tus").unwrap_or("16").parse()?;
+            let vp = match args.flag("vp").unwrap_or("perfect") {
+                "perfect" => ValuePredictorKind::Perfect,
+                "stride" => ValuePredictorKind::Stride,
+                "fcm" => ValuePredictorKind::Fcm,
+                "hybrid" => ValuePredictorKind::Hybrid,
+                "last" => ValuePredictorKind::LastValue,
+                "none" => ValuePredictorKind::None,
+                other => return Err(format!("unknown predictor `{other}`").into()),
+            };
+            let mut cfg = SimConfig::paper(tus).with_value_predictor(vp);
+            if let Some(o) = args.flag("overhead") {
+                cfg = cfg.with_init_overhead(o.parse()?);
+            }
+            if let Some(m) = args.flag("min-size") {
+                cfg.min_observed_size = Some(m.parse()?);
+            }
+            let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run();
+            let r = Simulator::with_table(&trace, cfg, &table).run();
+            println!("instructions    {:>12}", r.committed_instructions);
+            println!("baseline cycles {:>12}", baseline.cycles);
+            println!("cycles          {:>12}", r.cycles);
+            println!(
+                "speed-up        {:>12.2}",
+                baseline.cycles as f64 / r.cycles as f64
+            );
+            println!("ipc             {:>12.2}", r.ipc());
+            println!("active threads  {:>12.2}", r.avg_active_threads());
+            println!("threads         {:>12}", r.threads_committed);
+            println!(
+                "spawned/squashed{:>9}/{}",
+                r.threads_spawned, r.threads_squashed
+            );
+            println!("avg thread size {:>12.1}", r.avg_thread_size());
+            if r.value_predictions > 0 {
+                println!("vp accuracy     {:>11.1}%", 100.0 * r.value_hit_ratio());
+            }
+            println!("branch accuracy {:>11.1}%", 100.0 * r.branch_hit_ratio());
+            println!("violations      {:>12}", r.violations);
+        }
+        "run" => {
+            let input = input.ok_or("run needs a .s file")?;
+            let trace = load_trace(input, scale)?;
+            println!("halted after {} instructions", trace.len());
+            for r in specmt::isa::Reg::all() {
+                let v = trace.final_reg(r);
+                if v != 0 {
+                    println!("  {r:>4} = {v:#x} ({v})");
+                }
+            }
+        }
+        other => {
+            print_usage();
+            return Err(format!("unknown command `{other}`").into());
+        }
+    }
+    Ok(())
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy profile|heuristics|memslice]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N]\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file"
+    );
+}

@@ -1,0 +1,238 @@
+//! # specmt — speculative multithreading toolkit
+//!
+//! A from-scratch reproduction of **“Thread-Spawning Schemes for Speculative
+//! Multithreading”** (Pedro Marcuello and Antonio González, HPCA-8, 2002):
+//! the profile-based spawning-pair selection algorithm, the construct-based
+//! heuristics it is compared against, and a trace-driven timing model of the
+//! Clustered Speculative Multithreaded Processor, together with a synthetic
+//! SpecInt95-like workload suite to drive it all.
+//!
+//! This crate is a facade: it re-exports the component crates and adds the
+//! [`Bench`] convenience wrapper used by the examples and the experiment
+//! harness.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`isa`] | `specmt-isa` | instruction set, programs, assembler |
+//! | [`trace`] | `specmt-trace` | emulator, dynamic traces, dependence graphs |
+//! | [`workloads`] | `specmt-workloads` | the eight SpecInt95 analogues |
+//! | [`analysis`] | `specmt-analysis` | CFG, pruning, reaching probabilities |
+//! | [`spawn`] | `specmt-spawn` | spawning-pair selection policies |
+//! | [`predict`] | `specmt-predict` | gshare + value predictors |
+//! | [`sim`] | `specmt-sim` | the CSMP timing model |
+//! | [`stats`] | `specmt-stats` | means, tables, charts |
+//!
+//! # Quick start
+//!
+//! Reproduce the paper's headline experiment on one benchmark:
+//!
+//! ```
+//! use specmt::Bench;
+//! use specmt::sim::SimConfig;
+//! use specmt::spawn::ProfileConfig;
+//! use specmt::workloads::Scale;
+//!
+//! let bench = Bench::load("ijpeg", Scale::Small)?;
+//! let profile = bench.profile_table(&ProfileConfig::default());
+//! let result = bench.run(SimConfig::paper(16), &profile.table);
+//! let speedup = bench.speedup(&result);
+//! assert!(speedup > 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use specmt_analysis as analysis;
+pub use specmt_isa as isa;
+pub use specmt_predict as predict;
+pub use specmt_sim as sim;
+pub use specmt_spawn as spawn;
+pub use specmt_stats as stats;
+pub use specmt_trace as trace;
+pub use specmt_workloads as workloads;
+
+use std::sync::OnceLock;
+
+use specmt_sim::{SimConfig, SimResult, Simulator};
+use specmt_spawn::{
+    heuristic_pairs, profile_pairs, HeuristicSet, ProfileConfig, ProfileResult, SpawnTable,
+};
+use specmt_trace::{Trace, TraceError};
+use specmt_workloads::{Scale, Workload};
+
+/// A ready-to-simulate benchmark: the workload, its dynamic trace, and a
+/// lazily-computed single-threaded baseline.
+///
+/// Wraps the common experiment steps — generate the trace once, derive spawn
+/// tables from it, run simulator configurations against it, and convert
+/// cycles to speed-ups over the sequential baseline — so examples and the
+/// figure harness stay small.
+///
+/// # Examples
+///
+/// See the [crate-level quick start](crate).
+#[derive(Debug)]
+pub struct Bench {
+    workload: Workload,
+    trace: Trace,
+    baseline: OnceLock<u64>,
+}
+
+impl Bench {
+    /// Loads a named workload at `scale` and generates its trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if emulation faults; unknown names yield the
+    /// same error domain via a missing-workload panic-free path.
+    pub fn load(name: &str, scale: Scale) -> Result<Bench, BenchError> {
+        let workload =
+            specmt_workloads::by_name(name, scale).ok_or_else(|| BenchError::UnknownWorkload {
+                name: name.to_owned(),
+            })?;
+        Bench::from_workload(workload)
+    }
+
+    /// Wraps an already-built workload, generating its trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Trace`] if emulation faults or exceeds the
+    /// workload's step budget.
+    pub fn from_workload(workload: Workload) -> Result<Bench, BenchError> {
+        let trace = Trace::generate(workload.program.clone(), workload.step_budget)
+            .map_err(BenchError::Trace)?;
+        Ok(Bench {
+            workload,
+            trace,
+            baseline: OnceLock::new(),
+        })
+    }
+
+    /// The whole suite at `scale`, in the paper's reporting order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first workload's error, if any fails to trace.
+    pub fn suite(scale: Scale) -> Result<Vec<Bench>, BenchError> {
+        specmt_workloads::suite(scale)
+            .into_iter()
+            .map(Bench::from_workload)
+            .collect()
+    }
+
+    /// The underlying workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The benchmark's name.
+    pub fn name(&self) -> &'static str {
+        self.workload.name
+    }
+
+    /// The dynamic trace (shared by profiling and simulation, like the
+    /// paper's use of the same training input for both).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Cycles of the single-threaded baseline (computed once, cached).
+    pub fn baseline_cycles(&self) -> u64 {
+        *self.baseline.get_or_init(|| {
+            Simulator::new(&self.trace, SimConfig::single_threaded())
+                .run()
+                .cycles
+        })
+    }
+
+    /// Runs the profile-based selector (§3.1) on this benchmark's trace.
+    pub fn profile_table(&self, config: &ProfileConfig) -> ProfileResult {
+        profile_pairs(&self.trace, config)
+    }
+
+    /// Builds the construct-heuristic table for this benchmark.
+    pub fn heuristic_table(&self, set: HeuristicSet) -> SpawnTable {
+        heuristic_pairs(&self.workload.program, set)
+    }
+
+    /// Simulates this benchmark under `config` with the given spawn table.
+    pub fn run(&self, config: SimConfig, table: &SpawnTable) -> SimResult {
+        Simulator::with_table(&self.trace, config, table).run()
+    }
+
+    /// Speed-up of `result` over the single-threaded baseline.
+    pub fn speedup(&self, result: &SimResult) -> f64 {
+        self.baseline_cycles() as f64 / result.cycles as f64
+    }
+}
+
+/// Errors from [`Bench`] construction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// The workload name is not part of the suite.
+    UnknownWorkload {
+        /// The unrecognised name.
+        name: String,
+    },
+    /// Trace generation failed.
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::UnknownWorkload { name } => {
+                write!(
+                    f,
+                    "unknown workload `{name}` (see specmt::workloads::SUITE_NAMES)"
+                )
+            }
+            BenchError::Trace(e) => write!(f, "trace generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Trace(e) => Some(e),
+            BenchError::UnknownWorkload { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_unknown_workload_errors() {
+        let err = Bench::load("eon", Scale::Tiny).unwrap_err();
+        assert!(err.to_string().contains("eon"));
+    }
+
+    #[test]
+    fn bench_round_trip() {
+        let b = Bench::load("compress", Scale::Tiny).unwrap();
+        assert_eq!(b.name(), "compress");
+        let base = b.baseline_cycles();
+        assert!(base > 0);
+        // Baseline is cached and stable.
+        assert_eq!(b.baseline_cycles(), base);
+        let heur = b.heuristic_table(HeuristicSet::all());
+        let r = b.run(SimConfig::paper(4), &heur);
+        assert!(b.speedup(&r) >= 1.0);
+    }
+
+    #[test]
+    fn checksum_matches_reference_through_bench() {
+        let b = Bench::load("go", Scale::Tiny).unwrap();
+        assert_eq!(
+            b.trace().final_reg(specmt_isa::Reg::R10),
+            b.workload().expected_checksum
+        );
+    }
+}

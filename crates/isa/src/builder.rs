@@ -1,0 +1,550 @@
+//! A label-based assembler for constructing [`Program`]s from Rust.
+
+use crate::inst::AluOp;
+use crate::{BranchCond, Function, Inst, IsaError, Pc, Program, Reg, WORD_BYTES};
+
+/// A forward-referenceable code label handed out by
+/// [`ProgramBuilder::fresh_label`].
+///
+/// Labels are cheap copyable handles; they belong to the builder that created
+/// them and must be bound exactly once with [`ProgramBuilder::bind`] before
+/// [`ProgramBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug)]
+struct LabelState {
+    name: String,
+    pc: Option<Pc>,
+    bound_twice: bool,
+}
+
+#[derive(Debug)]
+struct OpenFunction {
+    name: String,
+    entry: Pc,
+}
+
+/// Incrementally builds a [`Program`] with symbolic labels, function symbols
+/// and an initial memory image.
+///
+/// Every emitter method returns the [`Pc`] of the instruction it appended, so
+/// callers can record interesting addresses (e.g. candidate spawning points).
+///
+/// # Examples
+///
+/// A function computing `2 * x` called from the entry code:
+///
+/// ```
+/// use specmt_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 21);
+/// b.call("double");
+/// b.halt();
+///
+/// b.begin_func("double");
+/// b.add(Reg::R1, Reg::R1, Reg::R1);
+/// b.ret();
+/// b.end_func();
+///
+/// let program = b.build()?;
+/// assert_eq!(program.functions().len(), 1);
+/// assert_eq!(program.functions()[0].name, "double");
+/// # Ok::<(), specmt_isa::IsaError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: Vec<LabelState>,
+    /// `(instruction index, label)` pairs patched at build time.
+    fixups: Vec<(usize, Label)>,
+    functions: Vec<Function>,
+    func_labels: Vec<(String, Label)>,
+    open_function: Option<OpenFunction>,
+    entry: Option<Label>,
+    memory_image: Vec<(u64, u64)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// The address the next emitted instruction will occupy.
+    pub fn pc(&self) -> Pc {
+        Pc(self.insts.len() as u32)
+    }
+
+    /// Creates a new unbound label. `name` is used only in error messages.
+    pub fn fresh_label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelState {
+            name: name.to_owned(),
+            pc: None,
+            bound_twice: false,
+        });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// Binding the same label twice is recorded and reported as
+    /// [`IsaError::DuplicateLabelBinding`] by [`ProgramBuilder::build`].
+    pub fn bind(&mut self, label: Label) {
+        let here = self.pc();
+        let state = &mut self.labels[label.0];
+        if state.pc.is_some() {
+            state.bound_twice = true;
+        } else {
+            state.pc = Some(here);
+        }
+    }
+
+    /// Declares (or retrieves) the entry label of the function `name`,
+    /// allowing calls before the function body is emitted.
+    pub fn func_label(&mut self, name: &str) -> Label {
+        if let Some((_, l)) = self.func_labels.iter().find(|(n, _)| n == name) {
+            return *l;
+        }
+        let l = self.fresh_label(name);
+        self.func_labels.push((name.to_owned(), l));
+        l
+    }
+
+    /// Starts the body of function `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another function body is still open; close it with
+    /// [`ProgramBuilder::end_func`] first.
+    pub fn begin_func(&mut self, name: &str) {
+        assert!(
+            self.open_function.is_none(),
+            "begin_func(\"{name}\") while function `{}` is still open",
+            self.open_function
+                .as_ref()
+                .map(|f| f.name.as_str())
+                .unwrap_or("?")
+        );
+        let l = self.func_label(name);
+        self.bind(l);
+        self.open_function = Some(OpenFunction {
+            name: name.to_owned(),
+            entry: self.pc(),
+        });
+    }
+
+    /// Ends the currently-open function body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function body is open.
+    pub fn end_func(&mut self) {
+        let open = self
+            .open_function
+            .take()
+            .expect("end_func without matching begin_func");
+        self.functions.push(Function {
+            name: open.name,
+            entry: open.entry,
+            end: self.pc(),
+        });
+    }
+
+    /// Selects the program entry point (defaults to `@0`).
+    pub fn set_entry(&mut self, label: Label) {
+        self.entry = Some(label);
+    }
+
+    /// Adds one word to the initial memory image.
+    pub fn data(&mut self, addr: u64, value: u64) {
+        self.memory_image.push((addr, value));
+    }
+
+    /// Adds a contiguous block of words starting at `addr`.
+    pub fn data_block(&mut self, addr: u64, values: &[u64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.memory_image.push((addr + i as u64 * WORD_BYTES, v));
+        }
+    }
+
+    fn emit(&mut self, inst: Inst) -> Pc {
+        let pc = self.pc();
+        self.insts.push(inst);
+        pc
+    }
+
+    fn emit_fixup(&mut self, inst: Inst, label: Label) -> Pc {
+        let pc = self.emit(inst);
+        self.fixups.push((pc.index(), label));
+        pc
+    }
+
+    // --- ALU emitters -----------------------------------------------------
+
+    /// Emits a register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.emit(Inst::Alu { op, dst, a, b })
+    }
+
+    /// Emits a register-immediate ALU operation.
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, a: Reg, imm: i64) -> Pc {
+        self.emit(Inst::AluImm { op, dst, a, imm })
+    }
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// `dst = a + imm`
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) -> Pc {
+        self.alu_imm(AluOp::Add, dst, a, imm)
+    }
+
+    /// `dst = a - b`
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::Sub, dst, a, b)
+    }
+
+    /// `dst = a * b` (4-cycle integer multiplier)
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::Mul, dst, a, b)
+    }
+
+    /// `dst = a * imm`
+    pub fn muli(&mut self, dst: Reg, a: Reg, imm: i64) -> Pc {
+        self.alu_imm(AluOp::Mul, dst, a, imm)
+    }
+
+    /// `dst = a / b` (unsigned; zero divisor yields zero)
+    pub fn div(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::Div, dst, a, b)
+    }
+
+    /// `dst = a & b`
+    pub fn and(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::And, dst, a, b)
+    }
+
+    /// `dst = a & imm`
+    pub fn andi(&mut self, dst: Reg, a: Reg, imm: i64) -> Pc {
+        self.alu_imm(AluOp::And, dst, a, imm)
+    }
+
+    /// `dst = a | b`
+    pub fn or(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::Or, dst, a, b)
+    }
+
+    /// `dst = a ^ b`
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::Xor, dst, a, b)
+    }
+
+    /// `dst = a ^ imm`
+    pub fn xori(&mut self, dst: Reg, a: Reg, imm: i64) -> Pc {
+        self.alu_imm(AluOp::Xor, dst, a, imm)
+    }
+
+    /// `dst = a << imm`
+    pub fn shli(&mut self, dst: Reg, a: Reg, imm: i64) -> Pc {
+        self.alu_imm(AluOp::Shl, dst, a, imm)
+    }
+
+    /// `dst = a >> imm` (logical)
+    pub fn shri(&mut self, dst: Reg, a: Reg, imm: i64) -> Pc {
+        self.alu_imm(AluOp::Shr, dst, a, imm)
+    }
+
+    /// `dst = (a < b)` signed
+    pub fn slt(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::Slt, dst, a, b)
+    }
+
+    /// `dst = a + b` on the FP adder (4 cycles)
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::FAdd, dst, a, b)
+    }
+
+    /// `dst = a * b` on the FP multiplier (6 cycles)
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::FMul, dst, a, b)
+    }
+
+    /// `dst = a / b` on the FP divider (17 cycles)
+    pub fn fdiv(&mut self, dst: Reg, a: Reg, b: Reg) -> Pc {
+        self.alu(AluOp::FDiv, dst, a, b)
+    }
+
+    /// `dst = imm`
+    pub fn li(&mut self, dst: Reg, imm: i64) -> Pc {
+        self.emit(Inst::Li { dst, imm })
+    }
+
+    /// `dst = src` (encoded as `addi dst, src, 0`)
+    pub fn mv(&mut self, dst: Reg, src: Reg) -> Pc {
+        self.addi(dst, src, 0)
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) -> Pc {
+        self.emit(Inst::Nop)
+    }
+
+    // --- Memory emitters ---------------------------------------------------
+
+    /// `dst = mem[base + offset]`
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i64) -> Pc {
+        self.emit(Inst::Load { dst, base, offset })
+    }
+
+    /// `mem[base + offset] = src`
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) -> Pc {
+        self.emit(Inst::Store { src, base, offset })
+    }
+
+    /// Pushes `reg` onto the stack (`sp -= 8; mem[sp] = reg`).
+    pub fn push(&mut self, reg: Reg) -> Pc {
+        let pc = self.addi(Reg::SP, Reg::SP, -(WORD_BYTES as i64));
+        self.st(reg, Reg::SP, 0);
+        pc
+    }
+
+    /// Pops the stack top into `reg` (`reg = mem[sp]; sp += 8`).
+    pub fn pop(&mut self, reg: Reg) -> Pc {
+        let pc = self.ld(reg, Reg::SP, 0);
+        self.addi(Reg::SP, Reg::SP, WORD_BYTES as i64);
+        pc
+    }
+
+    /// Standard non-leaf function prologue: saves the link register.
+    pub fn prologue(&mut self) -> Pc {
+        self.push(Reg::RA)
+    }
+
+    /// Standard non-leaf function epilogue: restores the link register and
+    /// returns.
+    pub fn epilogue_ret(&mut self) -> Pc {
+        let pc = self.pop(Reg::RA);
+        self.ret();
+        pc
+    }
+
+    // --- Control emitters ---------------------------------------------------
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, a: Reg, b: Reg, label: Label) -> Pc {
+        self.emit_fixup(
+            Inst::Branch {
+                cond,
+                a,
+                b,
+                target: Pc(0),
+            },
+            label,
+        )
+    }
+
+    /// `if a == b goto label`
+    pub fn beq(&mut self, a: Reg, b: Reg, label: Label) -> Pc {
+        self.branch(BranchCond::Eq, a, b, label)
+    }
+
+    /// `if a != b goto label`
+    pub fn bne(&mut self, a: Reg, b: Reg, label: Label) -> Pc {
+        self.branch(BranchCond::Ne, a, b, label)
+    }
+
+    /// `if a < b goto label` (signed)
+    pub fn blt(&mut self, a: Reg, b: Reg, label: Label) -> Pc {
+        self.branch(BranchCond::Lt, a, b, label)
+    }
+
+    /// `if a >= b goto label` (signed)
+    pub fn bge(&mut self, a: Reg, b: Reg, label: Label) -> Pc {
+        self.branch(BranchCond::Ge, a, b, label)
+    }
+
+    /// `if a <= b goto label` (signed)
+    pub fn ble(&mut self, a: Reg, b: Reg, label: Label) -> Pc {
+        self.branch(BranchCond::Le, a, b, label)
+    }
+
+    /// `if a > b goto label` (signed)
+    pub fn bgt(&mut self, a: Reg, b: Reg, label: Label) -> Pc {
+        self.branch(BranchCond::Gt, a, b, label)
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn j(&mut self, label: Label) -> Pc {
+        self.emit_fixup(Inst::Jump { target: Pc(0) }, label)
+    }
+
+    /// Emits a call to the function `name` (declared on first use).
+    pub fn call(&mut self, name: &str) -> Pc {
+        let l = self.func_label(name);
+        self.emit_fixup(Inst::Call { target: Pc(0) }, l)
+    }
+
+    /// Emits a subroutine return.
+    pub fn ret(&mut self) -> Pc {
+        self.emit(Inst::Ret)
+    }
+
+    /// Emits a halt.
+    pub fn halt(&mut self) -> Pc {
+        self.emit(Inst::Halt)
+    }
+
+    /// Resolves all labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnboundLabel`] or
+    /// [`IsaError::DuplicateLabelBinding`] for label misuse, and any error
+    /// from [`Program::with_parts`] for structural problems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function body opened with
+    /// [`ProgramBuilder::begin_func`] was never closed.
+    pub fn build(self) -> Result<Program, IsaError> {
+        assert!(
+            self.open_function.is_none(),
+            "build() with function `{}` still open",
+            self.open_function
+                .as_ref()
+                .map(|f| f.name.as_str())
+                .unwrap_or("?")
+        );
+        for state in &self.labels {
+            if state.bound_twice {
+                return Err(IsaError::DuplicateLabelBinding {
+                    name: state.name.clone(),
+                });
+            }
+        }
+        let mut insts = self.insts;
+        for (idx, label) in self.fixups {
+            let state = &self.labels[label.0];
+            let target = state.pc.ok_or_else(|| IsaError::UnboundLabel {
+                name: state.name.clone(),
+            })?;
+            match &mut insts[idx] {
+                Inst::Branch { target: t, .. }
+                | Inst::Jump { target: t }
+                | Inst::Call { target: t } => {
+                    *t = target;
+                }
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        let entry = match self.entry {
+            Some(l) => self.labels[l.0].pc.ok_or_else(|| IsaError::UnboundLabel {
+                name: self.labels[l.0].name.clone(),
+            })?,
+            None => Pc(0),
+        };
+        Program::with_parts(insts, entry, self.functions, self.memory_image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.fresh_label("fwd");
+        let back = b.fresh_label("back");
+        b.bind(back);
+        b.j(fwd); // @0 -> @2
+        b.j(back); // @1 -> @0
+        b.bind(fwd);
+        b.halt(); // @2
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(Pc(0)), Some(&Inst::Jump { target: Pc(2) }));
+        assert_eq!(p.inst(Pc(1)), Some(&Inst::Jump { target: Pc(0) }));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label("nowhere");
+        b.j(l);
+        b.halt();
+        assert!(matches!(b.build(), Err(IsaError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn duplicate_binding_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label("twice");
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+        b.halt();
+        assert!(matches!(
+            b.build(),
+            Err(IsaError::DuplicateLabelBinding { .. })
+        ));
+    }
+
+    #[test]
+    fn call_before_definition_resolves() {
+        let mut b = ProgramBuilder::new();
+        b.call("late");
+        b.halt();
+        b.begin_func("late");
+        b.ret();
+        b.end_func();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(Pc(0)), Some(&Inst::Call { target: Pc(2) }));
+        assert_eq!(p.functions()[0].entry, Pc(2));
+        assert_eq!(p.functions()[0].end, Pc(3));
+    }
+
+    #[test]
+    fn push_pop_expand_to_two_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.push(Reg::R1);
+        b.pop(Reg::R1);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 5);
+        assert!(matches!(p.inst(Pc(1)), Some(Inst::Store { .. })));
+        assert!(matches!(p.inst(Pc(2)), Some(Inst::Load { .. })));
+    }
+
+    #[test]
+    fn entry_label_is_honored() {
+        let mut b = ProgramBuilder::new();
+        let start = b.fresh_label("start");
+        b.halt(); // @0: dead
+        b.bind(start);
+        b.set_entry(start);
+        b.halt(); // @1
+        let p = b.build().unwrap();
+        assert_eq!(p.entry(), Pc(1));
+    }
+
+    #[test]
+    fn data_block_lays_out_consecutive_words() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        b.data_block(0x1000, &[1, 2, 3]);
+        let p = b.build().unwrap();
+        assert_eq!(p.memory_image(), &[(0x1000, 1), (0x1008, 2), (0x1010, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn nested_begin_func_panics() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("a");
+        b.begin_func("b");
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Pc;
+
+/// Errors produced while constructing or validating programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The program contains no instructions.
+    EmptyProgram,
+    /// The program contains no `halt` instruction and could never terminate.
+    MissingHalt,
+    /// A control instruction targets an address outside the program.
+    TargetOutOfRange {
+        /// Address of the offending instruction.
+        at: Pc,
+        /// The out-of-range target.
+        target: Pc,
+        /// Program length.
+        len: usize,
+    },
+    /// The entry point is outside the program.
+    EntryOutOfRange {
+        /// The out-of-range entry.
+        entry: Pc,
+        /// Program length.
+        len: usize,
+    },
+    /// A function symbol covers an invalid range.
+    FunctionOutOfRange {
+        /// Function name.
+        name: String,
+        /// Declared entry.
+        entry: Pc,
+        /// Declared end.
+        end: Pc,
+        /// Program length.
+        len: usize,
+    },
+    /// A label was used in a control instruction but never bound.
+    UnboundLabel {
+        /// The label's debug name.
+        name: String,
+    },
+    /// A label was bound more than once.
+    DuplicateLabelBinding {
+        /// The label's debug name.
+        name: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::EmptyProgram => write!(f, "program contains no instructions"),
+            IsaError::MissingHalt => write!(f, "program contains no halt instruction"),
+            IsaError::TargetOutOfRange { at, target, len } => write!(
+                f,
+                "control instruction at {at} targets {target}, outside program of length {len}"
+            ),
+            IsaError::EntryOutOfRange { entry, len } => {
+                write!(f, "entry point {entry} outside program of length {len}")
+            }
+            IsaError::FunctionOutOfRange {
+                name,
+                entry,
+                end,
+                len,
+            } => write!(
+                f,
+                "function `{name}` range {entry}..{end} invalid for program of length {len}"
+            ),
+            IsaError::UnboundLabel { name } => {
+                write!(f, "label `{name}` referenced but never bound")
+            }
+            IsaError::DuplicateLabelBinding { name } => {
+                write!(f, "label `{name}` bound more than once")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_trailing_period() {
+        let errs: Vec<IsaError> = vec![
+            IsaError::EmptyProgram,
+            IsaError::MissingHalt,
+            IsaError::TargetOutOfRange {
+                at: Pc(1),
+                target: Pc(9),
+                len: 3,
+            },
+            IsaError::EntryOutOfRange {
+                entry: Pc(9),
+                len: 3,
+            },
+            IsaError::FunctionOutOfRange {
+                name: "f".into(),
+                entry: Pc(0),
+                end: Pc(9),
+                len: 3,
+            },
+            IsaError::UnboundLabel { name: "l".into() },
+            IsaError::DuplicateLabelBinding { name: "l".into() },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

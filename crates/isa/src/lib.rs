@@ -1,0 +1,66 @@
+//! # specmt-isa
+//!
+//! A minimal load/store RISC instruction set used as the program substrate for
+//! the `specmt` speculative-multithreading toolkit.
+//!
+//! The original paper (Marcuello & González, *Thread-Spawning Schemes for
+//! Speculative Multithreading*, HPCA 2002) drove its simulator with Alpha
+//! binaries instrumented by ATOM. This crate plays the role of that Alpha ISA:
+//! it defines
+//!
+//! * [`Reg`] — 32 general-purpose 64-bit registers with MIPS-like conventions
+//!   (`r0` is hardwired to zero, `r29` is the stack pointer, `r31` the link
+//!   register),
+//! * [`Inst`] — the instruction set: integer and floating-point ALU
+//!   operations, loads/stores, conditional branches, calls and returns,
+//! * [`Program`] — a validated, flat instruction memory with optional function
+//!   symbols, and
+//! * [`ProgramBuilder`] — a label-based assembler for constructing programs
+//!   from Rust.
+//!
+//! Everything downstream — the functional emulator in `specmt-trace`, the
+//! profile analyses in `specmt-analysis`, and the clustered speculative
+//! multithreaded processor model in `specmt-sim` — consumes these types.
+//!
+//! # Examples
+//!
+//! Build and inspect a small counted loop:
+//!
+//! ```
+//! use specmt_isa::{ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let top = b.fresh_label("top");
+//! b.li(Reg::R1, 0); // induction variable
+//! b.li(Reg::R2, 10); // trip count
+//! b.bind(top);
+//! b.addi(Reg::R1, Reg::R1, 1);
+//! b.blt(Reg::R1, Reg::R2, top);
+//! b.halt();
+//! let program = b.build().expect("valid program");
+//! assert_eq!(program.len(), 5);
+//! assert!(program.inst(specmt_isa::Pc(3)).unwrap().is_branch());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+pub mod inst;
+mod parse;
+mod program;
+mod reg;
+
+pub use builder::{Label, ProgramBuilder};
+pub use error::IsaError;
+pub use inst::{AluOp, BranchCond, FuClass, Inst};
+pub use parse::{parse_program, ParseError};
+pub use program::{Function, Pc, Program};
+pub use reg::Reg;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+/// Size, in bytes, of the machine word (all loads/stores are word sized).
+pub const WORD_BYTES: u64 = 8;

@@ -1,0 +1,585 @@
+//! A text assembler: parses the mnemonic syntax produced by
+//! [`Program::disassemble`] (plus labels and directives) back into a
+//! [`Program`].
+//!
+//! # Syntax
+//!
+//! One statement per line; `;` and `#` start comments. Operands are
+//! registers (`r0`–`r31`, `zero`, `sp`, `ra`), immediates (decimal or
+//! `0x…`), `offset(base)` memory operands, and either `@N` absolute targets
+//! or `name:` labels:
+//!
+//! ```text
+//! ; sum = 1 + 2 + ... + 10
+//!         li   r1, 0
+//!         li   r2, 0
+//! top:    addi r1, r1, 1
+//!         add  r2, r2, r1
+//!         li   r3, 10
+//!         blt  r1, r3, top
+//!         halt
+//! .data 0x1000 42        ; one word of initial memory
+//! .entry main            ; optional entry label
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use specmt_isa::parse_program;
+//!
+//! let program = parse_program(
+//!     "li r1, 7\n\
+//!      loop: addi r1, r1, -1\n\
+//!      bgt r1, zero, loop\n\
+//!      halt\n",
+//! )?;
+//! assert_eq!(program.len(), 4);
+//! # Ok::<(), specmt_isa::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::AluOp;
+use crate::{BranchCond, Function, Inst, IsaError, Pc, Program, Reg};
+
+/// Errors produced by [`parse_program`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A control instruction referenced an unknown label.
+    UnknownLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The label name.
+        name: String,
+    },
+    /// The assembled program failed structural validation.
+    Invalid(IsaError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::UnknownLabel { line, name } => {
+                write!(f, "line {line}: unknown label `{name}`")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for ParseError {
+    fn from(e: IsaError) -> ParseError {
+        ParseError::Invalid(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg, ParseError> {
+    match s {
+        "zero" => return Ok(Reg::ZERO),
+        "sp" => return Ok(Reg::SP),
+        "ra" => return Ok(Reg::RA),
+        _ => {}
+    }
+    s.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Reg::new)
+        .ok_or_else(|| syntax(line, format!("expected register, got `{s}`")))
+}
+
+fn parse_imm(line: usize, s: &str) -> Result<i64, ParseError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map(|v| v as i64)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| syntax(line, format!("expected immediate, got `{s}`")))?;
+    Ok(if neg { value.wrapping_neg() } else { value })
+}
+
+/// A branch/jump/call target: absolute or a label to resolve later.
+enum Target {
+    Absolute(Pc),
+    Label(String),
+}
+
+fn parse_target(line: usize, s: &str) -> Result<Target, ParseError> {
+    if let Some(n) = s.strip_prefix('@') {
+        let v: u32 = n
+            .parse()
+            .map_err(|_| syntax(line, format!("bad absolute target `{s}`")))?;
+        Ok(Target::Absolute(Pc(v)))
+    } else if s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.is_empty()
+    {
+        Ok(Target::Label(s.to_owned()))
+    } else {
+        Err(syntax(line, format!("bad target `{s}`")))
+    }
+}
+
+/// `offset(base)` memory operand.
+fn parse_mem(line: usize, s: &str) -> Result<(i64, Reg), ParseError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| syntax(line, format!("expected offset(base), got `{s}`")))?;
+    let close = s
+        .strip_suffix(')')
+        .ok_or_else(|| syntax(line, format!("missing `)` in `{s}`")))?;
+    let offset = if open == 0 {
+        0
+    } else {
+        parse_imm(line, &s[..open])?
+    };
+    let base = parse_reg(line, &close[open + 1..])?;
+    Ok((offset, base))
+}
+
+const ALU_OPS: [(&str, AluOp); 14] = [
+    ("add", AluOp::Add),
+    ("sub", AluOp::Sub),
+    ("mul", AluOp::Mul),
+    ("div", AluOp::Div),
+    ("and", AluOp::And),
+    ("or", AluOp::Or),
+    ("xor", AluOp::Xor),
+    ("shl", AluOp::Shl),
+    ("shr", AluOp::Shr),
+    ("slt", AluOp::Slt),
+    ("sltu", AluOp::Sltu),
+    ("fadd", AluOp::FAdd),
+    ("fmul", AluOp::FMul),
+    ("fdiv", AluOp::FDiv),
+];
+
+const BRANCHES: [(&str, BranchCond); 6] = [
+    ("beq", BranchCond::Eq),
+    ("bne", BranchCond::Ne),
+    ("blt", BranchCond::Lt),
+    ("bge", BranchCond::Ge),
+    ("ble", BranchCond::Le),
+    ("bgt", BranchCond::Gt),
+];
+
+/// One parsed statement before target resolution.
+enum Stmt {
+    Inst(Inst),
+    /// Branch awaiting target resolution: rebuilt at fixup time.
+    Pending {
+        line: usize,
+        inst: Inst,
+        target: Target,
+    },
+}
+
+/// Parses assembly text into a validated [`Program`].
+///
+/// See the module-level documentation for the syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Syntax`] for malformed lines,
+/// [`ParseError::UnknownLabel`] for unresolved targets and
+/// [`ParseError::Invalid`] if the assembled program fails
+/// [`Program`] validation.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut labels: HashMap<String, Pc> = HashMap::new();
+    let mut functions: Vec<Function> = Vec::new();
+    let mut memory: Vec<(u64, u64)> = Vec::new();
+    let mut entry_label: Option<(usize, String)> = None;
+    let mut open_func: Option<(String, Pc)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw;
+        if let Some(p) = line.find([';', '#']) {
+            line = &line[..p];
+        }
+        let mut rest = line.trim();
+        // Labels (several may share a line).
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(syntax(line_no, format!("bad label `{name}`")));
+            }
+            if labels
+                .insert(name.to_owned(), Pc(stmts.len() as u32))
+                .is_some()
+            {
+                return Err(syntax(line_no, format!("duplicate label `{name}`")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        // An optional `@N` address column, as printed by
+        // `Program::disassemble`, is ignored.
+        if let Some(tail) = rest.strip_prefix('@') {
+            if let Some((addr, after)) = tail.split_once(char::is_whitespace) {
+                if addr.chars().all(|c| c.is_ascii_digit()) {
+                    rest = after.trim();
+                }
+            }
+        }
+
+        // Directives.
+        if let Some(args) = rest.strip_prefix(".data") {
+            let parts: Vec<&str> = args.split_whitespace().collect();
+            if parts.len() < 2 {
+                return Err(syntax(
+                    line_no,
+                    ".data needs an address and at least one word",
+                ));
+            }
+            let addr = parse_imm(line_no, parts[0])? as u64;
+            for (i, w) in parts[1..].iter().enumerate() {
+                memory.push((addr + 8 * i as u64, parse_imm(line_no, w)? as u64));
+            }
+            continue;
+        }
+        if let Some(args) = rest.strip_prefix(".entry") {
+            entry_label = Some((line_no, args.trim().to_owned()));
+            continue;
+        }
+        if let Some(args) = rest.strip_prefix(".func") {
+            if let Some((name, start)) = open_func.take() {
+                functions.push(Function {
+                    name,
+                    entry: start,
+                    end: Pc(stmts.len() as u32),
+                });
+            }
+            let name = args.trim();
+            if !name.is_empty() {
+                open_func = Some((name.to_owned(), Pc(stmts.len() as u32)));
+            }
+            continue;
+        }
+
+        // Instructions.
+        let (mnemonic, operands) = match rest.split_once(char::is_whitespace) {
+            Some((m, o)) => (m, o.trim()),
+            None => (rest, ""),
+        };
+        let ops: Vec<&str> = if operands.is_empty() {
+            Vec::new()
+        } else {
+            operands.split(',').map(str::trim).collect()
+        };
+        let need = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(syntax(
+                    line_no,
+                    format!("`{mnemonic}` takes {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        let stmt = if let Some(&(_, op)) = ALU_OPS.iter().find(|&&(m, _)| m == mnemonic) {
+            need(3)?;
+            Stmt::Inst(Inst::Alu {
+                op,
+                dst: parse_reg(line_no, ops[0])?,
+                a: parse_reg(line_no, ops[1])?,
+                b: parse_reg(line_no, ops[2])?,
+            })
+        } else if let Some(&(_, op)) = ALU_OPS.iter().find(|&&(m, _)| format!("{m}i") == mnemonic) {
+            need(3)?;
+            Stmt::Inst(Inst::AluImm {
+                op,
+                dst: parse_reg(line_no, ops[0])?,
+                a: parse_reg(line_no, ops[1])?,
+                imm: parse_imm(line_no, ops[2])?,
+            })
+        } else if let Some(&(_, cond)) = BRANCHES.iter().find(|&&(m, _)| m == mnemonic) {
+            need(3)?;
+            Stmt::Pending {
+                line: line_no,
+                inst: Inst::Branch {
+                    cond,
+                    a: parse_reg(line_no, ops[0])?,
+                    b: parse_reg(line_no, ops[1])?,
+                    target: Pc(0),
+                },
+                target: parse_target(line_no, ops[2])?,
+            }
+        } else {
+            match mnemonic {
+                "li" => {
+                    need(2)?;
+                    Stmt::Inst(Inst::Li {
+                        dst: parse_reg(line_no, ops[0])?,
+                        imm: parse_imm(line_no, ops[1])?,
+                    })
+                }
+                "ld" => {
+                    need(2)?;
+                    let (offset, base) = parse_mem(line_no, ops[1])?;
+                    Stmt::Inst(Inst::Load {
+                        dst: parse_reg(line_no, ops[0])?,
+                        base,
+                        offset,
+                    })
+                }
+                "st" => {
+                    need(2)?;
+                    let (offset, base) = parse_mem(line_no, ops[1])?;
+                    Stmt::Inst(Inst::Store {
+                        src: parse_reg(line_no, ops[0])?,
+                        base,
+                        offset,
+                    })
+                }
+                "j" => {
+                    need(1)?;
+                    Stmt::Pending {
+                        line: line_no,
+                        inst: Inst::Jump { target: Pc(0) },
+                        target: parse_target(line_no, ops[0])?,
+                    }
+                }
+                "call" => {
+                    need(1)?;
+                    Stmt::Pending {
+                        line: line_no,
+                        inst: Inst::Call { target: Pc(0) },
+                        target: parse_target(line_no, ops[0])?,
+                    }
+                }
+                "ret" => {
+                    need(0)?;
+                    Stmt::Inst(Inst::Ret)
+                }
+                "halt" => {
+                    need(0)?;
+                    Stmt::Inst(Inst::Halt)
+                }
+                "nop" => {
+                    need(0)?;
+                    Stmt::Inst(Inst::Nop)
+                }
+                other => return Err(syntax(line_no, format!("unknown mnemonic `{other}`"))),
+            }
+        };
+        stmts.push(stmt);
+    }
+    if let Some((name, start)) = open_func.take() {
+        functions.push(Function {
+            name,
+            entry: start,
+            end: Pc(stmts.len() as u32),
+        });
+    }
+
+    // Resolve targets.
+    let mut insts = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        match stmt {
+            Stmt::Inst(i) => insts.push(i),
+            Stmt::Pending { line, inst, target } => {
+                let pc = match target {
+                    Target::Absolute(pc) => pc,
+                    Target::Label(name) => *labels
+                        .get(&name)
+                        .ok_or(ParseError::UnknownLabel { line, name })?,
+                };
+                insts.push(match inst {
+                    Inst::Branch { cond, a, b, .. } => Inst::Branch {
+                        cond,
+                        a,
+                        b,
+                        target: pc,
+                    },
+                    Inst::Jump { .. } => Inst::Jump { target: pc },
+                    Inst::Call { .. } => Inst::Call { target: pc },
+                    other => other,
+                });
+            }
+        }
+    }
+
+    let entry = match entry_label {
+        None => Pc(0),
+        Some((line, name)) => *labels
+            .get(&name)
+            .ok_or(ParseError::UnknownLabel { line, name })?,
+    };
+    Ok(Program::with_parts(insts, entry, functions, memory)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn parses_a_counted_loop() {
+        let p = parse_program(
+            "li r1, 0\n\
+             li r2, 10\n\
+             top: addi r1, r1, 1\n\
+             blt r1, r2, top\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(
+            p.inst(Pc(3)),
+            Some(&Inst::Branch {
+                cond: BranchCond::Lt,
+                a: Reg::R1,
+                b: Reg::R2,
+                target: Pc(2)
+            })
+        );
+    }
+
+    #[test]
+    fn memory_operands_and_named_registers() {
+        let p = parse_program(
+            "li sp, 0x100\n\
+             st ra, -8(sp)\n\
+             ld r1, (sp)\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(
+            p.inst(Pc(1)),
+            Some(&Inst::Store {
+                src: Reg::RA,
+                base: Reg::SP,
+                offset: -8
+            })
+        );
+        assert_eq!(
+            p.inst(Pc(2)),
+            Some(&Inst::Load {
+                dst: Reg::R1,
+                base: Reg::SP,
+                offset: 0
+            })
+        );
+    }
+
+    #[test]
+    fn directives_work() {
+        let p = parse_program(
+            "halt\n\
+             start: li r1, 1\n\
+             halt\n\
+             .entry start\n\
+             .data 0x2000 1 2 0x3\n",
+        )
+        .unwrap();
+        assert_eq!(p.entry(), Pc(1));
+        assert_eq!(p.memory_image(), &[(0x2000, 1), (0x2008, 2), (0x2010, 3)]);
+    }
+
+    #[test]
+    fn functions_are_recorded() {
+        let p = parse_program(
+            "call f\n\
+             halt\n\
+             .func f\n\
+             f: addi r1, r1, 1\n\
+             ret\n\
+             .func\n",
+        )
+        .unwrap();
+        assert_eq!(p.functions().len(), 1);
+        assert_eq!(p.functions()[0].name, "f");
+        assert_eq!(p.functions()[0].entry, Pc(2));
+        assert_eq!(p.functions()[0].end, Pc(4));
+    }
+
+    #[test]
+    fn disassembly_round_trips() {
+        // Build a program with every instruction form, print it, re-parse
+        // it, and compare instruction-for-instruction.
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, -5);
+        b.bind(top);
+        b.add(Reg::R2, Reg::R1, Reg::R3);
+        b.muli(Reg::R4, Reg::R2, 12);
+        b.fdiv(Reg::R5, Reg::R4, Reg::R1);
+        b.ld(Reg::R6, Reg::SP, 16);
+        b.st(Reg::R6, Reg::SP, -16);
+        b.beq(Reg::R6, Reg::ZERO, top);
+        b.call("leaf");
+        b.j(top);
+        b.halt();
+        b.begin_func("leaf");
+        b.nop();
+        b.ret();
+        b.end_func();
+        let original = b.build().unwrap();
+        let reparsed = parse_program(&original.disassemble()).unwrap();
+        assert_eq!(original.insts(), reparsed.insts());
+    }
+
+    #[test]
+    fn error_reporting_is_precise() {
+        let err = parse_program("li r1, 1\nfrob r1\nhalt\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }), "{err}");
+        let err = parse_program("j nowhere\nhalt\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownLabel { line: 1, .. }));
+        let err = parse_program("li r99, 1\nhalt\n").unwrap_err();
+        assert!(err.to_string().contains("register"));
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_by_validation() {
+        let err = parse_program("j @9\nhalt\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+        let err = parse_program("nop\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(IsaError::MissingHalt)));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let err = parse_program("x: nop\nx: halt\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Programs: validated instruction memories with function symbols.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Inst, IsaError};
+
+/// A program counter: an index into a program's instruction memory.
+///
+/// `Pc` is an instruction index, not a byte address; instruction `k` lives at
+/// `Pc(k)`.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_isa::Pc;
+/// let pc = Pc(4);
+/// assert_eq!(pc.next(), Pc(5));
+/// assert_eq!(pc.to_string(), "@4");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pc(pub u32);
+
+impl Pc {
+    /// The address of the sequentially-following instruction.
+    pub fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+
+    /// The instruction index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Pc {
+    fn from(v: u32) -> Pc {
+        Pc(v)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A named function: a contiguous range of instructions.
+///
+/// Functions are metadata only — control flow is free to ignore them — but
+/// workloads record them so analyses and reports can attribute code to
+/// subroutines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbolic name.
+    pub name: String,
+    /// First instruction of the function.
+    pub entry: Pc,
+    /// One past the last instruction of the function.
+    pub end: Pc,
+}
+
+impl Function {
+    /// Whether `pc` lies within this function's range.
+    pub fn contains(&self, pc: Pc) -> bool {
+        self.entry <= pc && pc < self.end
+    }
+
+    /// Number of static instructions in the function.
+    pub fn len(&self) -> usize {
+        (self.end.0 - self.entry.0) as usize
+    }
+
+    /// Whether the function contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.entry == self.end
+    }
+}
+
+/// A validated program: a flat instruction memory plus optional function
+/// symbols and an initial memory image.
+///
+/// Construct programs with [`ProgramBuilder`](crate::ProgramBuilder);
+/// [`Program::new`] validates raw instruction vectors directly.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_isa::{Inst, Program, Pc};
+///
+/// let program = Program::new(vec![Inst::Nop, Inst::Halt])?;
+/// assert_eq!(program.len(), 2);
+/// assert_eq!(program.inst(Pc(1)), Some(&Inst::Halt));
+/// # Ok::<(), specmt_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    insts: Vec<Inst>,
+    entry: Pc,
+    functions: Vec<Function>,
+    /// Initial memory image: `(byte address, word value)` pairs applied
+    /// before execution starts. Addresses should be word aligned.
+    memory_image: Vec<(u64, u64)>,
+}
+
+impl Program {
+    /// Creates a program from raw instructions with entry point `@0` and no
+    /// symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::EmptyProgram`] for an empty vector,
+    /// [`IsaError::MissingHalt`] if no [`Inst::Halt`] is present, and
+    /// [`IsaError::TargetOutOfRange`] if any control target points outside
+    /// the program.
+    pub fn new(insts: Vec<Inst>) -> Result<Program, IsaError> {
+        Program::with_parts(insts, Pc(0), Vec::new(), Vec::new())
+    }
+
+    /// Creates a program from all its parts, validating control targets, the
+    /// entry point and function ranges.
+    ///
+    /// # Errors
+    ///
+    /// As [`Program::new`], plus [`IsaError::EntryOutOfRange`] and
+    /// [`IsaError::FunctionOutOfRange`].
+    pub fn with_parts(
+        insts: Vec<Inst>,
+        entry: Pc,
+        functions: Vec<Function>,
+        memory_image: Vec<(u64, u64)>,
+    ) -> Result<Program, IsaError> {
+        if insts.is_empty() {
+            return Err(IsaError::EmptyProgram);
+        }
+        if !insts.iter().any(|i| i.is_halt()) {
+            return Err(IsaError::MissingHalt);
+        }
+        let len = insts.len() as u32;
+        for (idx, inst) in insts.iter().enumerate() {
+            if let Some(t) = inst.control_target() {
+                if t.0 >= len {
+                    return Err(IsaError::TargetOutOfRange {
+                        at: Pc(idx as u32),
+                        target: t,
+                        len: len as usize,
+                    });
+                }
+            }
+        }
+        if entry.0 >= len {
+            return Err(IsaError::EntryOutOfRange {
+                entry,
+                len: len as usize,
+            });
+        }
+        for f in &functions {
+            if f.entry > f.end || f.end.0 > len {
+                return Err(IsaError::FunctionOutOfRange {
+                    name: f.name.clone(),
+                    entry: f.entry,
+                    end: f.end,
+                    len: len as usize,
+                });
+            }
+        }
+        Ok(Program {
+            insts,
+            entry,
+            functions,
+            memory_image,
+        })
+    }
+
+    /// The instruction at `pc`, or `None` if out of range.
+    pub fn inst(&self, pc: Pc) -> Option<&Inst> {
+        self.insts.get(pc.index())
+    }
+
+    /// All instructions in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions (never true for a validated
+    /// program).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The entry point.
+    pub fn entry(&self) -> Pc {
+        self.entry
+    }
+
+    /// Function symbols, in the order they were declared.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// The function containing `pc`, if any.
+    pub fn function_at(&self, pc: Pc) -> Option<&Function> {
+        self.functions.iter().find(|f| f.contains(pc))
+    }
+
+    /// The function whose entry point is exactly `pc`, if any.
+    pub fn function_entered_at(&self, pc: Pc) -> Option<&Function> {
+        self.functions.iter().find(|f| f.entry == pc)
+    }
+
+    /// The initial memory image: `(byte address, word value)` pairs.
+    pub fn memory_image(&self) -> &[(u64, u64)] {
+        &self.memory_image
+    }
+
+    /// Produces a textual disassembly of the whole program.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use specmt_isa::{Inst, Program};
+    /// let p = Program::new(vec![Inst::Nop, Inst::Halt])?;
+    /// let asm = p.disassemble();
+    /// assert!(asm.contains("nop"));
+    /// assert!(asm.contains("halt"));
+    /// # Ok::<(), specmt_isa::IsaError>(())
+    /// ```
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (idx, inst) in self.insts.iter().enumerate() {
+            let pc = Pc(idx as u32);
+            if let Some(f) = self.function_entered_at(pc) {
+                let _ = writeln!(out, "{}:", f.name);
+            }
+            let _ = writeln!(out, "  @{idx:<6} {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    fn halt_program(mut insts: Vec<Inst>) -> Vec<Inst> {
+        insts.push(Inst::Halt);
+        insts
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(Program::new(vec![]), Err(IsaError::EmptyProgram)));
+    }
+
+    #[test]
+    fn rejects_missing_halt() {
+        assert!(matches!(
+            Program::new(vec![Inst::Nop]),
+            Err(IsaError::MissingHalt)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let insts = halt_program(vec![Inst::Jump { target: Pc(9) }]);
+        assert!(matches!(
+            Program::new(insts),
+            Err(IsaError::TargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_entry_and_function() {
+        let insts = halt_program(vec![Inst::Nop]);
+        assert!(matches!(
+            Program::with_parts(insts.clone(), Pc(5), vec![], vec![]),
+            Err(IsaError::EntryOutOfRange { .. })
+        ));
+        let f = Function {
+            name: "f".into(),
+            entry: Pc(1),
+            end: Pc(9),
+        };
+        assert!(matches!(
+            Program::with_parts(insts, Pc(0), vec![f], vec![]),
+            Err(IsaError::FunctionOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn function_lookup() {
+        let insts = halt_program(vec![Inst::Nop, Inst::Nop, Inst::Ret]);
+        let f = Function {
+            name: "leaf".into(),
+            entry: Pc(1),
+            end: Pc(3),
+        };
+        let p = Program::with_parts(insts, Pc(0), vec![f], vec![]).unwrap();
+        assert_eq!(p.function_at(Pc(2)).unwrap().name, "leaf");
+        assert!(p.function_at(Pc(0)).is_none());
+        assert_eq!(p.function_entered_at(Pc(1)).unwrap().name, "leaf");
+        assert!(p.function_entered_at(Pc(2)).is_none());
+    }
+
+    #[test]
+    fn disassembly_includes_function_labels() {
+        let insts = vec![
+            Inst::Call { target: Pc(2) },
+            Inst::Halt,
+            Inst::Li {
+                dst: Reg::R1,
+                imm: 42,
+            },
+            Inst::Ret,
+        ];
+        let f = Function {
+            name: "answer".into(),
+            entry: Pc(2),
+            end: Pc(4),
+        };
+        let p = Program::with_parts(insts, Pc(0), vec![f], vec![]).unwrap();
+        let asm = p.disassemble();
+        assert!(asm.contains("answer:"));
+        assert!(asm.contains("li r1, 42"));
+    }
+
+    #[test]
+    fn pc_helpers() {
+        assert_eq!(Pc(3).next(), Pc(4));
+        assert_eq!(Pc(3).index(), 3);
+        assert_eq!(Pc::from(7u32), Pc(7));
+    }
+}

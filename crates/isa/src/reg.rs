@@ -1,0 +1,168 @@
+//! Architectural registers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the 32 architectural 64-bit registers.
+///
+/// Conventions mirror classic MIPS/Alpha usage:
+///
+/// * [`Reg::ZERO`] (`r0`) always reads as zero; writes are discarded.
+/// * [`Reg::SP`] (`r29`) is the stack pointer by software convention.
+/// * [`Reg::RA`] (`r31`) receives the return address on [`call`].
+///
+/// [`call`]: crate::Inst::Call
+///
+/// # Examples
+///
+/// ```
+/// use specmt_isa::Reg;
+///
+/// let r = Reg::new(5).unwrap();
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr, $doc:expr;)*) => {
+        $(
+            #[doc = $doc]
+            pub const $name: Reg = Reg($idx);
+        )*
+    };
+}
+
+impl Reg {
+    named_regs! {
+        ZERO = 0, "`r0`: hardwired zero.";
+        R1 = 1, "`r1`: general purpose.";
+        R2 = 2, "`r2`: general purpose.";
+        R3 = 3, "`r3`: general purpose.";
+        R4 = 4, "`r4`: general purpose.";
+        R5 = 5, "`r5`: general purpose.";
+        R6 = 6, "`r6`: general purpose.";
+        R7 = 7, "`r7`: general purpose.";
+        R8 = 8, "`r8`: general purpose.";
+        R9 = 9, "`r9`: general purpose.";
+        R10 = 10, "`r10`: general purpose.";
+        R11 = 11, "`r11`: general purpose.";
+        R12 = 12, "`r12`: general purpose.";
+        R13 = 13, "`r13`: general purpose.";
+        R14 = 14, "`r14`: general purpose.";
+        R15 = 15, "`r15`: general purpose.";
+        R16 = 16, "`r16`: general purpose.";
+        R17 = 17, "`r17`: general purpose.";
+        R18 = 18, "`r18`: general purpose.";
+        R19 = 19, "`r19`: general purpose.";
+        R20 = 20, "`r20`: general purpose.";
+        R21 = 21, "`r21`: general purpose.";
+        R22 = 22, "`r22`: general purpose.";
+        R23 = 23, "`r23`: general purpose.";
+        R24 = 24, "`r24`: general purpose.";
+        R25 = 25, "`r25`: general purpose.";
+        R26 = 26, "`r26`: general purpose.";
+        R27 = 27, "`r27`: general purpose.";
+        R28 = 28, "`r28`: general purpose.";
+        SP = 29, "`r29`: stack pointer (software convention).";
+        R30 = 30, "`r30`: general purpose (frame/temp by convention).";
+        RA = 31, "`r31`: link register, written by `call`.";
+    }
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use specmt_isa::Reg;
+    /// assert_eq!(Reg::new(31), Some(Reg::RA));
+    /// assert_eq!(Reg::new(32), None);
+    /// ```
+    pub fn new(index: u8) -> Option<Reg> {
+        if (index as usize) < crate::NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `r0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 architectural registers in index order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use specmt_isa::Reg;
+    /// assert_eq!(Reg::all().count(), 32);
+    /// ```
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..crate::NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::ZERO => write!(f, "zero"),
+            Reg::SP => write!(f, "sp"),
+            Reg::RA => write!(f, "ra"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(31).is_some());
+        assert!(Reg::new(32).is_none());
+        assert!(Reg::new(255).is_none());
+    }
+
+    #[test]
+    fn named_constants_have_expected_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 31);
+    }
+
+    #[test]
+    fn display_uses_conventional_names() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::RA.to_string(), "ra");
+        assert_eq!(Reg::R7.to_string(), "r7");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn only_r0_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(Reg::all().filter(|r| r.is_zero()).count() == 1);
+    }
+}

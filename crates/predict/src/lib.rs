@@ -1,0 +1,47 @@
+//! # specmt-predict
+//!
+//! Branch and value predictors for the clustered speculative multithreaded
+//! processor model, matching §4.1 and §4.3.1 of the paper:
+//!
+//! * [`Gshare`] — the per-thread-unit 10-bit gshare branch predictor. The
+//!   paper notes predictor tables are *not* reinitialised when a new thread
+//!   is assigned to a unit; the simulator keeps one instance per unit
+//!   accordingly.
+//! * [`ValuePredictor`] implementations for thread live-in values, all
+//!   sized to the paper's 16 KB budget and indexed by hashing the spawning
+//!   point, the control quasi-independent point and the register being
+//!   predicted:
+//!   [`StridePredictor`] (the paper's best performer), the context-based
+//!   [`FcmPredictor`], and [`LastValuePredictor`] (the Dynamic
+//!   Multithreaded Processor's scheme, kept for ablation).
+//!
+//! Perfect value prediction is a simulator mode, not a predictor — the
+//! timing model simply treats every live-in as available (the paper's
+//! "perfect value predictor" idealisation).
+//!
+//! # Examples
+//!
+//! ```
+//! use specmt_predict::{PredKey, StridePredictor, ValuePredictor};
+//!
+//! let mut p = StridePredictor::with_budget(16 * 1024);
+//! let key = PredKey { sp_pc: 10, cqip_pc: 42, reg: 3 };
+//! for v in (0..10u64).map(|k| 100 + 8 * k) {
+//!     p.train(key, v);
+//! }
+//! assert_eq!(p.predict(key), 100 + 8 * 10); // learned the stride
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gshare;
+mod value;
+
+pub use gshare::Gshare;
+pub use value::{
+    FcmPredictor, LastValuePredictor, PredKey, StridePredictor, ValuePredictor, ValuePredictorKind,
+};
+
+/// The paper's value-predictor storage budget (16 KB).
+pub const PAPER_BUDGET_BYTES: usize = 16 * 1024;

@@ -1,0 +1,243 @@
+//! Simulator configuration.
+
+use specmt_predict::ValuePredictorKind;
+
+/// First-level data cache parameters (per thread unit).
+///
+/// Defaults are the paper's: 32 KB, 2-way, 32-byte blocks, 3-cycle hits,
+/// 8-cycle misses, up to 4 outstanding misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Block size in bytes.
+    pub block_bytes: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+    /// Miss latency in cycles.
+    pub miss_latency: u64,
+    /// Maximum outstanding misses (MSHRs).
+    pub mshrs: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            block_bytes: 32,
+            hit_latency: 3,
+            miss_latency: 8,
+            mshrs: 4,
+        }
+    }
+}
+
+/// The §4.2 dynamic spawning-pair removal mechanism: a pair is cancelled
+/// once its threads have executed *alone* for longer than a threshold, a
+/// configurable number of times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemovalPolicy {
+    /// Cycles a thread must execute alone to count one occurrence
+    /// (Figure 5a evaluates 50 and 200).
+    pub alone_cycles: u64,
+    /// Occurrences before the pair is removed (Figure 5b evaluates 1, 8 and
+    /// 16; 1 removes on first sight).
+    pub occurrences: u32,
+    /// Reinstate a removed pair after this many cycles (`None` = removal is
+    /// permanent). The paper's footnote 1 in §4.2 evaluates this variant
+    /// and reports "very small improvements"; it is provided for
+    /// experimentation.
+    pub reinstate_after: Option<u64>,
+    /// Count a thread as "alone" while at most this many companion threads
+    /// are active (0 = strictly alone, the default). §4.2 also evaluates
+    /// removal when a thread executes "with just a few threads instead of
+    /// just one" and reports a small average improvement.
+    pub max_companions: u32,
+}
+
+impl RemovalPolicy {
+    /// The paper's most aggressive scheme: remove on the first 50-cycle
+    /// solo.
+    pub fn aggressive() -> RemovalPolicy {
+        RemovalPolicy {
+            alone_cycles: 50,
+            occurrences: 1,
+            reinstate_after: None,
+            max_companions: 0,
+        }
+    }
+
+    /// The paper's best-overall scheme: remove on the first 200-cycle solo.
+    pub fn relaxed() -> RemovalPolicy {
+        RemovalPolicy {
+            alone_cycles: 200,
+            occurrences: 1,
+            reinstate_after: None,
+            max_companions: 0,
+        }
+    }
+}
+
+/// Full simulator configuration.
+///
+/// [`SimConfig::paper`] reproduces §4.1 with a given thread-unit count;
+/// [`SimConfig::single_threaded`] is the sequential baseline every speed-up
+/// in the paper is measured against.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of thread units (1 disables speculation entirely).
+    pub thread_units: usize,
+    /// Instructions fetched per cycle (up to the first taken branch).
+    pub fetch_width: u32,
+    /// Issue width per thread unit.
+    pub issue_width: usize,
+    /// Reorder-buffer entries per thread unit.
+    pub rob_entries: usize,
+    /// Physical registers per thread unit (§4.1 lists 64): in-flight
+    /// register-writing instructions are limited to
+    /// `phys_regs - NUM_REGS` rename registers.
+    pub phys_regs: usize,
+    /// Branch misprediction redirect penalty beyond resolution, in cycles.
+    pub mispredict_penalty: u64,
+    /// gshare history bits (the paper uses 10).
+    pub gshare_bits: u32,
+    /// L1 data cache configuration.
+    pub cache: CacheConfig,
+    /// Live-in value predictor.
+    pub value_predictor: ValuePredictorKind,
+    /// Value predictor storage budget in bytes (the paper uses 16 KB).
+    pub predictor_budget: usize,
+    /// Thread initialisation overhead charged to every spawned thread
+    /// (§4.3.2 evaluates 8 cycles).
+    pub init_overhead: u64,
+    /// Latency of forwarding a register or memory value between thread
+    /// units (3 cycles in the paper).
+    pub forward_latency: u64,
+    /// Refetch penalty after a memory-dependence violation squash.
+    pub squash_penalty: u64,
+    /// Dynamic spawning-pair removal (§4.2), or `None` to never remove.
+    pub removal: Option<RemovalPolicy>,
+    /// The reassign policy (Figure 6): on a blocked or removed best CQIP,
+    /// fall back to the next-ranked candidate for the same spawning point.
+    pub reassign: bool,
+    /// Remove pairs whose committed threads are smaller than this
+    /// (Figure 7b enforces 32).
+    pub min_observed_size: Option<u32>,
+}
+
+impl SimConfig {
+    /// The paper's §4.1 configuration with `thread_units` units, perfect
+    /// value prediction, no init overhead and no removal — the Figure 3
+    /// baseline setup.
+    pub fn paper(thread_units: usize) -> SimConfig {
+        SimConfig {
+            thread_units,
+            fetch_width: 4,
+            issue_width: 4,
+            rob_entries: 64,
+            phys_regs: 64,
+            mispredict_penalty: 3,
+            gshare_bits: 10,
+            cache: CacheConfig::default(),
+            value_predictor: ValuePredictorKind::Perfect,
+            predictor_budget: specmt_predict::PAPER_BUDGET_BYTES,
+            init_overhead: 0,
+            forward_latency: 3,
+            squash_penalty: 5,
+            removal: None,
+            reassign: false,
+            min_observed_size: None,
+        }
+    }
+
+    /// The sequential baseline: one thread unit, no speculation.
+    pub fn single_threaded() -> SimConfig {
+        SimConfig::paper(1)
+    }
+
+    /// Returns the configuration with a different value predictor.
+    pub fn with_value_predictor(mut self, kind: ValuePredictorKind) -> SimConfig {
+        self.value_predictor = kind;
+        self
+    }
+
+    /// Returns the configuration with a thread-initialisation overhead.
+    pub fn with_init_overhead(mut self, cycles: u64) -> SimConfig {
+        self.init_overhead = cycles;
+        self
+    }
+
+    /// Returns the configuration with a removal policy.
+    pub fn with_removal(mut self, policy: RemovalPolicy) -> SimConfig {
+        self.removal = Some(policy);
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or size is zero.
+    pub fn validate(&self) {
+        assert!(self.thread_units >= 1, "need at least one thread unit");
+        assert!(self.fetch_width >= 1, "fetch width must be positive");
+        assert!(self.issue_width >= 1, "issue width must be positive");
+        assert!(self.rob_entries >= 1, "rob must hold at least one entry");
+        assert!(
+            self.phys_regs > specmt_isa::NUM_REGS,
+            "need rename registers beyond the architectural file"
+        );
+        assert!(self.cache.ways >= 1 && self.cache.block_bytes >= 8);
+        assert!(
+            self.cache.size_bytes >= self.cache.ways * self.cache.block_bytes,
+            "cache must hold at least one set"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_4_1() {
+        let c = SimConfig::paper(16);
+        assert_eq!(c.thread_units, 16);
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.phys_regs, 64);
+        assert_eq!(c.gshare_bits, 10);
+        assert_eq!(c.cache.size_bytes, 32 * 1024);
+        assert_eq!(c.cache.ways, 2);
+        assert_eq!(c.cache.block_bytes, 32);
+        assert_eq!(c.cache.hit_latency, 3);
+        assert_eq!(c.cache.miss_latency, 8);
+        assert_eq!(c.cache.mshrs, 4);
+        assert_eq!(c.forward_latency, 3);
+        assert_eq!(c.predictor_budget, 16 * 1024);
+        c.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::paper(4)
+            .with_value_predictor(ValuePredictorKind::Stride)
+            .with_init_overhead(8)
+            .with_removal(RemovalPolicy::aggressive());
+        assert_eq!(c.value_predictor, ValuePredictorKind::Stride);
+        assert_eq!(c.init_overhead, 8);
+        assert_eq!(c.removal.unwrap().alone_cycles, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread unit")]
+    fn zero_units_invalid() {
+        let mut c = SimConfig::paper(4);
+        c.thread_units = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics from one simulation run.
+///
+/// `cycles` against a [`SimConfig::single_threaded`] run of the same trace
+/// yields the paper's speed-up numbers; the remaining fields feed the other
+/// figures (active threads, thread sizes, value-prediction accuracy,
+/// removal/squash accounting).
+///
+/// [`SimConfig::single_threaded`]: crate::SimConfig::single_threaded
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total execution time in cycles (commit time of the last thread).
+    pub cycles: u64,
+    /// Committed instructions (always the full trace length).
+    pub committed_instructions: u64,
+    /// Threads that committed (including the initial non-speculative one).
+    pub threads_committed: u64,
+    /// Speculative threads spawned (successful spawns).
+    pub threads_spawned: u64,
+    /// Spawned threads squashed as control misspeculations (their CQIP was
+    /// never reached).
+    pub threads_squashed: u64,
+    /// Spawn opportunities declined (no free thread unit, CQIP already
+    /// active, or the pair was removed).
+    pub spawns_declined: u64,
+    /// Memory-dependence violations (squash-and-restart events).
+    pub violations: u64,
+    /// Live-in values predicted by the realistic predictor.
+    pub value_predictions: u64,
+    /// Correct live-in predictions.
+    pub value_hits: u64,
+    /// Conditional branches predicted.
+    pub branch_predictions: u64,
+    /// Correct conditional-branch predictions.
+    pub branch_hits: u64,
+    /// L1 data-cache hits, summed over thread units.
+    pub cache_hits: u64,
+    /// L1 data-cache misses, summed over thread units.
+    pub cache_misses: u64,
+    /// Spawning pairs removed by the dynamic policies.
+    pub pairs_removed: u64,
+    /// Sum over committed threads of their lifetime (spawn to commit), in
+    /// cycles; divided by `cycles` this is the average number of active
+    /// threads (Figure 4).
+    pub thread_lifetime_cycles: u64,
+    /// Sum of committed thread sizes in instructions (equals
+    /// `committed_instructions`; kept for clarity of the Figure 7a average).
+    pub thread_size_sum: u64,
+    /// Histogram of committed thread sizes: bucket `i` counts threads of
+    /// `2^i ..= 2^(i+1)-1` instructions (bucket 0 holds sizes 0 and 1).
+    /// Averages hide the fragmentation the paper's Figure 7a is about; the
+    /// histogram (and [`SimResult::median_thread_size`]) shows it.
+    pub thread_size_histogram: Vec<u64>,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average number of simultaneously-active threads (Figure 4).
+    pub fn avg_active_threads(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_lifetime_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average committed thread size in instructions (Figure 7a).
+    pub fn avg_thread_size(&self) -> f64 {
+        if self.threads_committed == 0 {
+            0.0
+        } else {
+            self.thread_size_sum as f64 / self.threads_committed as f64
+        }
+    }
+
+    /// Records one committed thread size into the histogram.
+    pub(crate) fn record_thread_size(&mut self, size: u64) {
+        let bucket = 64 - size.max(1).leading_zeros() as usize - 1;
+        if self.thread_size_histogram.len() <= bucket {
+            self.thread_size_histogram.resize(bucket + 1, 0);
+        }
+        self.thread_size_histogram[bucket] += 1;
+    }
+
+    /// Approximate median committed thread size (the midpoint of the median
+    /// histogram bucket); zero when no threads committed.
+    ///
+    /// Averages are dominated by a few giant threads; the paper's
+    /// Figure 7a observation — "thread size for most of the benchmarks is
+    /// smaller than 32" — is about the typical thread, which this captures.
+    pub fn median_thread_size(&self) -> f64 {
+        let total: u64 = self.thread_size_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut seen = 0u64;
+        for (bucket, &n) in self.thread_size_histogram.iter().enumerate() {
+            seen += n;
+            if seen * 2 >= total {
+                // Midpoint of [2^bucket, 2^(bucket+1)).
+                return 1.5 * (1u64 << bucket) as f64;
+            }
+        }
+        0.0
+    }
+
+    /// Live-in value-prediction hit ratio (Figures 9a, 10a); zero when
+    /// nothing was predicted.
+    pub fn value_hit_ratio(&self) -> f64 {
+        if self.value_predictions == 0 {
+            0.0
+        } else {
+            self.value_hits as f64 / self.value_predictions as f64
+        }
+    }
+
+    /// Conditional-branch prediction accuracy.
+    pub fn branch_hit_ratio(&self) -> f64 {
+        if self.branch_predictions == 0 {
+            0.0
+        } else {
+            self.branch_hits as f64 / self.branch_predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let r = SimResult::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.avg_active_threads(), 0.0);
+        assert_eq!(r.avg_thread_size(), 0.0);
+        assert_eq!(r.value_hit_ratio(), 0.0);
+        assert_eq!(r.branch_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn histogram_and_median() {
+        let mut r = SimResult::default();
+        for size in [1u64, 2, 3, 30, 31, 33, 1000] {
+            r.record_thread_size(size);
+        }
+        // Buckets: 1 -> b0, {2,3} -> b1, {30,31} -> b4, 33 -> b5, 1000 -> b9.
+        assert_eq!(r.thread_size_histogram[0], 1);
+        assert_eq!(r.thread_size_histogram[1], 2);
+        assert_eq!(r.thread_size_histogram[4], 2);
+        assert_eq!(r.thread_size_histogram[5], 1);
+        assert_eq!(r.thread_size_histogram[9], 1);
+        // Median element is the 4th of 7 -> bucket 4 -> midpoint 24.
+        assert_eq!(r.median_thread_size(), 24.0);
+        assert_eq!(SimResult::default().median_thread_size(), 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = SimResult {
+            cycles: 100,
+            committed_instructions: 250,
+            threads_committed: 5,
+            thread_lifetime_cycles: 300,
+            thread_size_sum: 250,
+            value_predictions: 10,
+            value_hits: 7,
+            branch_predictions: 40,
+            branch_hits: 36,
+            ..SimResult::default()
+        };
+        assert_eq!(r.ipc(), 2.5);
+        assert_eq!(r.avg_active_threads(), 3.0);
+        assert_eq!(r.avg_thread_size(), 50.0);
+        assert_eq!(r.value_hit_ratio(), 0.7);
+        assert_eq!(r.branch_hit_ratio(), 0.9);
+    }
+}

@@ -1,0 +1,211 @@
+//! Construct-based spawning heuristics (the paper's comparison baselines).
+
+use specmt_isa::{Pc, Program};
+
+use crate::{PairOrigin, SpawnPair, SpawnTable};
+
+/// Which construct heuristics to enable.
+///
+/// The paper's Figure 8 baseline is the combination of all three
+/// ([`HeuristicSet::all`]); §3 defines each individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeuristicSet {
+    /// Spawn the next iteration from the head of every loop.
+    pub loop_iteration: bool,
+    /// Spawn the loop continuation from the head of every loop.
+    pub loop_continuation: bool,
+    /// Spawn the return point from every subroutine call.
+    pub subroutine_continuation: bool,
+}
+
+impl HeuristicSet {
+    /// All three heuristics (the paper's combined baseline).
+    pub fn all() -> HeuristicSet {
+        HeuristicSet {
+            loop_iteration: true,
+            loop_continuation: true,
+            subroutine_continuation: true,
+        }
+    }
+
+    /// Only loop-iteration spawning.
+    pub fn loop_iteration_only() -> HeuristicSet {
+        HeuristicSet {
+            loop_iteration: true,
+            loop_continuation: false,
+            subroutine_continuation: false,
+        }
+    }
+
+    /// Only loop-continuation spawning.
+    pub fn loop_continuation_only() -> HeuristicSet {
+        HeuristicSet {
+            loop_iteration: false,
+            loop_continuation: true,
+            subroutine_continuation: false,
+        }
+    }
+
+    /// Only subroutine-continuation spawning.
+    pub fn subroutine_continuation_only() -> HeuristicSet {
+        HeuristicSet {
+            loop_iteration: false,
+            loop_continuation: false,
+            subroutine_continuation: true,
+        }
+    }
+}
+
+/// Builds the construct-heuristic spawn table for `program`.
+///
+/// * **Loop iteration**: the target of a backward branch is both the SP and
+///   the CQIP — once an iteration starts, another is very likely.
+/// * **Loop continuation**: the loop head is the SP; the instruction
+///   following the backward branch (in static order) is the CQIP.
+/// * **Subroutine continuation**: a call is the SP; the instruction
+///   following it is the CQIP.
+///
+/// When one spawning point gets several candidates, they are ranked
+/// loop-iteration > subroutine-continuation > loop-continuation, matching
+/// the per-heuristic potential the authors report for this architecture in
+/// their earlier study (reference 15 in the paper).
+///
+/// Probabilities and distances are not known statically; pairs carry
+/// `prob = 1.0` and `avg_dist = 0.0` placeholders (the simulator never
+/// consults them — the oracle trace decides what actually happens).
+pub fn heuristic_pairs(program: &Program, set: HeuristicSet) -> SpawnTable {
+    let mut pairs = Vec::new();
+    for (idx, inst) in program.insts().iter().enumerate() {
+        let pc = Pc(idx as u32);
+        if let Some(target) = inst.control_target() {
+            // A backward control transfer closes a loop.
+            if target <= pc && !inst.is_call() {
+                if set.loop_iteration {
+                    pairs.push(SpawnPair {
+                        sp: target,
+                        cqip: target,
+                        prob: 1.0,
+                        avg_dist: 0.0,
+                        score: 3.0,
+                        origin: PairOrigin::LoopIteration,
+                    });
+                }
+                if set.loop_continuation && (idx + 1) < program.len() {
+                    pairs.push(SpawnPair {
+                        sp: target,
+                        cqip: pc.next(),
+                        prob: 1.0,
+                        avg_dist: 0.0,
+                        score: 1.0,
+                        origin: PairOrigin::LoopContinuation,
+                    });
+                }
+            }
+        }
+        if inst.is_call() && set.subroutine_continuation && (idx + 1) < program.len() {
+            pairs.push(SpawnPair {
+                sp: pc,
+                cqip: pc.next(),
+                prob: 1.0,
+                avg_dist: 0.0,
+                score: 2.0,
+                origin: PairOrigin::SubroutineContinuation,
+            });
+        }
+    }
+    SpawnTable::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmt_isa::{ProgramBuilder, Reg};
+
+    /// A loop with a call inside it.
+    fn looped_call_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0); // @0
+        b.li(Reg::R2, 5); // @1
+        b.bind(top);
+        b.call("leaf"); // @2
+        b.addi(Reg::R1, Reg::R1, 1); // @3
+        b.blt(Reg::R1, Reg::R2, top); // @4 backward branch -> @2
+        b.halt(); // @5
+        b.begin_func("leaf");
+        b.ret(); // @6
+        b.end_func();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loop_iteration_pairs_self_target() {
+        let t = heuristic_pairs(&looped_call_program(), HeuristicSet::loop_iteration_only());
+        assert_eq!(t.num_pairs(), 1);
+        let p = t.iter().next().unwrap();
+        assert_eq!((p.sp, p.cqip), (Pc(2), Pc(2)));
+        assert_eq!(p.origin, PairOrigin::LoopIteration);
+    }
+
+    #[test]
+    fn loop_continuation_targets_after_latch() {
+        let t = heuristic_pairs(
+            &looped_call_program(),
+            HeuristicSet::loop_continuation_only(),
+        );
+        assert_eq!(t.num_pairs(), 1);
+        let p = t.iter().next().unwrap();
+        assert_eq!((p.sp, p.cqip), (Pc(2), Pc(5)));
+    }
+
+    #[test]
+    fn subroutine_continuation_targets_return_point() {
+        let t = heuristic_pairs(
+            &looped_call_program(),
+            HeuristicSet::subroutine_continuation_only(),
+        );
+        assert_eq!(t.num_pairs(), 1);
+        let p = t.iter().next().unwrap();
+        assert_eq!((p.sp, p.cqip), (Pc(2), Pc(3)));
+    }
+
+    #[test]
+    fn combined_ranks_loop_iteration_first() {
+        let t = heuristic_pairs(&looped_call_program(), HeuristicSet::all());
+        // All three pairs share SP @2.
+        assert_eq!(t.num_spawning_points(), 1);
+        let c = t.candidates(Pc(2));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].origin, PairOrigin::LoopIteration);
+        assert_eq!(c[1].origin, PairOrigin::SubroutineContinuation);
+        assert_eq!(c[2].origin, PairOrigin::LoopContinuation);
+    }
+
+    #[test]
+    fn straight_line_program_has_no_pairs() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1);
+        b.halt();
+        let t = heuristic_pairs(&b.build().unwrap(), HeuristicSet::all());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn forward_branches_are_not_loops() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.fresh_label("skip");
+        b.beq(Reg::R1, Reg::ZERO, skip);
+        b.li(Reg::R2, 1);
+        b.bind(skip);
+        b.halt();
+        let t = heuristic_pairs(
+            &b.build().unwrap(),
+            HeuristicSet {
+                loop_iteration: true,
+                loop_continuation: true,
+                subroutine_continuation: false,
+            },
+        );
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,571 @@
+//! The profile-based spawning-pair selector (§3.1).
+
+use specmt_analysis::{BasicBlocks, BlockStream, DynCfg, ReachingAnalysis};
+use specmt_trace::{DepGraph, Trace, NO_PRODUCER};
+
+use crate::{return_pairs, PairOrigin, SpawnPair, SpawnTable};
+
+/// How alternative CQIPs for the same spawning point are ranked (§3.1 lists
+/// the three; §4.3.1 evaluates the latter two under realistic value
+/// prediction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderCriterion {
+    /// Maximise the expected SP→CQIP distance (the paper's default and
+    /// overall best).
+    #[default]
+    MaxDistance,
+    /// Maximise the number of spawned-thread instructions independent of
+    /// the code between SP and CQIP.
+    Independent,
+    /// Maximise the number of spawned-thread instructions that are
+    /// independent *or* depend only on stride-predictable live-in register
+    /// values.
+    Predictable,
+}
+
+/// Configuration of the profile-based selector. [`Default`] matches the
+/// paper's evaluation: probability ≥ 0.95, distance ≥ 32 instructions,
+/// 90 % CFG coverage, max-distance ordering, return pairs included.
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// Minimum reaching probability for a candidate pair.
+    pub min_prob: f64,
+    /// Minimum expected SP→CQIP distance, in instructions.
+    pub min_distance: f64,
+    /// Maximum expected SP→CQIP distance for basic-block pairs, or `None`
+    /// for unbounded. §3 requires the distance "not be too small or too
+    /// large": small threads cost overhead, large threads cause work
+    /// imbalance. The paper quantifies only the minimum (32); we bound the
+    /// maximum at 300 instructions by default. Return pairs are exempt, as
+    /// in the paper (they are filtered by the size minimum only).
+    pub max_distance: Option<f64>,
+    /// Fraction of executed instructions the pruned CFG must cover.
+    pub coverage: f64,
+    /// CQIP ranking criterion.
+    pub criterion: OrderCriterion,
+    /// Whether to inject call→return-point pairs (§3.1's final step).
+    pub include_return_pairs: bool,
+    /// Occurrences sampled per pair when scoring the `Independent` /
+    /// `Predictable` criteria.
+    pub dep_samples: usize,
+    /// Cap on the dependence-analysis window per sample, in instructions.
+    pub max_score_window: usize,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> ProfileConfig {
+        ProfileConfig {
+            min_prob: 0.95,
+            min_distance: 32.0,
+            max_distance: Some(300.0),
+            coverage: 0.9,
+            criterion: OrderCriterion::MaxDistance,
+            include_return_pairs: true,
+            dep_samples: 4,
+            max_score_window: 2048,
+        }
+    }
+}
+
+/// Output of [`profile_pairs`].
+#[derive(Debug, Clone)]
+pub struct ProfileResult {
+    /// The spawn table (profile pairs plus, if enabled, return pairs).
+    pub table: SpawnTable,
+    /// Number of basic-block pairs passing the probability and distance
+    /// thresholds (Figure 2's "total pairs").
+    pub selected_pairs: usize,
+    /// Number of distinct spawning points among them (Figure 2's pairs
+    /// "that have different spawning points").
+    pub distinct_sps: usize,
+    /// Blocks kept by the CFG pruning.
+    pub kept_blocks: usize,
+    /// Instruction coverage actually achieved by the kept blocks.
+    pub coverage: f64,
+}
+
+/// Runs the full §3.1 pipeline on a profile trace.
+///
+/// 1. Build the dynamic CFG and prune it to `coverage` (90 % in the paper),
+///    splicing edges around pruned blocks.
+/// 2. Measure reaching probabilities and expected distances for all ordered
+///    pairs of surviving blocks.
+/// 3. Keep pairs with probability ≥ `min_prob` and distance ≥
+///    `min_distance`; the SP and CQIP are the first instructions of the
+///    respective blocks.
+/// 4. Rank alternative CQIPs per SP by the configured criterion.
+/// 5. Add call→return-point pairs meeting the size constraint.
+pub fn profile_pairs(trace: &Trace, config: &ProfileConfig) -> ProfileResult {
+    let bbs = BasicBlocks::of(trace.program());
+    let stream = BlockStream::new(trace, &bbs);
+    let mut cfg = DynCfg::build(&stream, &bbs);
+    let summary = cfg.prune_to_coverage(config.coverage);
+    let tracked = cfg.kept_blocks();
+    let reach = ReachingAnalysis::compute(&stream, &tracked);
+
+    let mut candidates = reach.pairs(config.min_prob, config.min_distance);
+    if let Some(max) = config.max_distance {
+        candidates.retain(|c| c.avg_dist <= max);
+    }
+    let selected_pairs = candidates.len();
+    let mut sps: Vec<u32> = candidates.iter().map(|c| c.sp_block).collect();
+    sps.sort_unstable();
+    sps.dedup();
+    let distinct_sps = sps.len();
+
+    let mut pairs: Vec<SpawnPair> = match config.criterion {
+        OrderCriterion::MaxDistance => candidates
+            .iter()
+            .map(|c| SpawnPair {
+                sp: bbs.start(c.sp_block),
+                cqip: bbs.start(c.cqip_block),
+                prob: c.prob,
+                avg_dist: c.avg_dist,
+                score: c.avg_dist,
+                origin: PairOrigin::Profile,
+            })
+            .collect(),
+        OrderCriterion::Independent | OrderCriterion::Predictable => {
+            let scorer = DepScorer::new(trace, &bbs, &stream, config);
+            candidates
+                .iter()
+                .map(|c| {
+                    let (indep, pred) = scorer.score(c.sp_block, c.cqip_block);
+                    let score = match config.criterion {
+                        OrderCriterion::Independent => indep,
+                        _ => pred,
+                    };
+                    SpawnPair {
+                        sp: bbs.start(c.sp_block),
+                        cqip: bbs.start(c.cqip_block),
+                        prob: c.prob,
+                        avg_dist: c.avg_dist,
+                        score,
+                        origin: PairOrigin::Profile,
+                    }
+                })
+                .collect()
+        }
+    };
+
+    if config.include_return_pairs {
+        let (ret_pairs, _) = return_pairs(trace, config.min_distance);
+        pairs.extend(ret_pairs);
+    }
+
+    ProfileResult {
+        table: SpawnTable::from_pairs(pairs),
+        selected_pairs,
+        distinct_sps,
+        kept_blocks: tracked.len(),
+        coverage: summary.coverage,
+    }
+}
+
+/// Samples pair occurrences and scores the spawned-thread window by
+/// transitive dependence on the spawn region.
+struct DepScorer<'a> {
+    trace: &'a Trace,
+    deps: DepGraph,
+    /// Event indices per block.
+    occ: Vec<Vec<u32>>,
+    /// `first_dyn` per event.
+    event_dyn: Vec<u32>,
+    samples: usize,
+    max_window: usize,
+}
+
+impl std::fmt::Debug for DepScorer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DepScorer")
+            .field("samples", &self.samples)
+            .field("max_window", &self.max_window)
+            .finish()
+    }
+}
+
+/// Dependence mask bit marking a load of memory written inside the spawn
+/// region (never predictable: the paper does not predict memory values).
+const MEM_BIT: u64 = 1 << 32;
+
+impl<'a> DepScorer<'a> {
+    fn new(
+        trace: &'a Trace,
+        bbs: &BasicBlocks,
+        stream: &BlockStream,
+        config: &ProfileConfig,
+    ) -> DepScorer<'a> {
+        let mut occ = vec![Vec::new(); bbs.num_blocks()];
+        let mut event_dyn = Vec::with_capacity(stream.events().len());
+        for (e, ev) in stream.events().iter().enumerate() {
+            occ[ev.block as usize].push(e as u32);
+            event_dyn.push(ev.first_dyn);
+        }
+        DepScorer {
+            trace,
+            deps: DepGraph::build(trace),
+            occ,
+            event_dyn,
+            samples: config.dep_samples.max(1),
+            max_window: config.max_score_window.max(16),
+        }
+    }
+
+    /// Returns `(independent, predictable)` scores: the average number of
+    /// thread instructions independent of the spawn region, and the average
+    /// number independent or fed only by stride-predictable live-ins.
+    fn score(&self, sp_block: u32, cqip_block: u32) -> (f64, f64) {
+        let sp_occ = &self.occ[sp_block as usize];
+        if sp_occ.is_empty() {
+            return (0.0, 0.0);
+        }
+        let cqip_occ = &self.occ[cqip_block as usize];
+        // Evenly-spaced sample of SP occurrences.
+        let stride = (sp_occ.len() / self.samples).max(1);
+        let mut windows: Vec<SampleWindow> = Vec::new();
+        for &e_i in sp_occ.iter().step_by(stride).take(self.samples) {
+            // Window closes at the next SP occurrence.
+            let next_i = match sp_occ.binary_search(&(e_i + 1)) {
+                Ok(p) | Err(p) => sp_occ.get(p).copied().unwrap_or(u32::MAX),
+            };
+            // First CQIP occurrence strictly after the SP event...
+            let e_j = match cqip_occ.binary_search(&(e_i + 1)) {
+                Ok(p) | Err(p) => match cqip_occ.get(p) {
+                    Some(&e) => e,
+                    None => continue,
+                },
+            };
+            // ...that still falls inside the window.
+            if sp_block != cqip_block && e_j >= next_i {
+                continue;
+            }
+            let sp_dyn = self.event_dyn[e_i as usize] as usize;
+            let cqip_dyn = self.event_dyn[e_j as usize] as usize;
+            let dist = cqip_dyn - sp_dyn;
+            let end = (cqip_dyn + dist.min(self.max_window)).min(self.trace.len());
+            windows.push(self.analyse_window(sp_dyn, cqip_dyn, end));
+        }
+        if windows.is_empty() {
+            return (0.0, 0.0);
+        }
+
+        // Per-register live-in predictability across the sampled
+        // occurrences, with a fresh two-delta stride model per register.
+        let mut predictable_reg = [true; specmt_isa::NUM_REGS];
+        for r in 0..specmt_isa::NUM_REGS {
+            let values: Vec<u64> = windows.iter().filter_map(|w| w.live_in_values[r]).collect();
+            if values.len() >= 2 {
+                let mut hits = 0usize;
+                let mut last = values[0];
+                let mut stride = 0i64;
+                for &v in &values[1..] {
+                    if last.wrapping_add(stride as u64) == v {
+                        hits += 1;
+                    }
+                    stride = v.wrapping_sub(last) as i64;
+                    last = v;
+                }
+                predictable_reg[r] = hits * 10 >= (values.len() - 1) * 6;
+            }
+            // With fewer than two observations, keep the optimistic default:
+            // loop-invariant live-ins (base pointers, bounds) predict
+            // perfectly with stride zero.
+        }
+
+        let mut indep_sum = 0.0;
+        let mut pred_sum = 0.0;
+        for w in &windows {
+            let mut indep = 0u32;
+            let mut pred = 0u32;
+            for &mask in &w.masks {
+                if mask == 0 {
+                    indep += 1;
+                    pred += 1;
+                } else if mask & MEM_BIT == 0 {
+                    let mut ok = true;
+                    for r in 0..specmt_isa::NUM_REGS {
+                        if mask & (1 << r) != 0 && !predictable_reg[r] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        pred += 1;
+                    }
+                }
+            }
+            indep_sum += indep as f64;
+            pred_sum += pred as f64;
+        }
+        let n = windows.len() as f64;
+        (indep_sum / n, pred_sum / n)
+    }
+
+    /// Computes, for each instruction of `[cqip_dyn, end)`, the transitive
+    /// dependence mask on the spawn region `[sp_dyn, cqip_dyn)`: one bit per
+    /// live-in register plus [`MEM_BIT`]; zero means independent. Also
+    /// records each live-in register's value for predictability training.
+    fn analyse_window(&self, sp_dyn: usize, cqip_dyn: usize, end: usize) -> SampleWindow {
+        let mut masks = vec![0u64; end - cqip_dyn];
+        let mut live_in_values = [None; specmt_isa::NUM_REGS];
+        for k in cqip_dyn..end {
+            let inst = self.trace.inst(k);
+            let mut mask = 0u64;
+            for (s, src) in inst.srcs().into_iter().enumerate() {
+                let Some(r) = src else { continue };
+                if r.is_zero() {
+                    continue;
+                }
+                let p = self.deps.reg_producer(k, s);
+                if p == NO_PRODUCER {
+                    continue;
+                }
+                let p = p as usize;
+                if p >= cqip_dyn {
+                    mask |= masks[p - cqip_dyn];
+                } else if p >= sp_dyn {
+                    mask |= 1 << r.index();
+                    let rec = self.trace.record(p).expect("producer in range");
+                    live_in_values[r.index()].get_or_insert(rec.result);
+                }
+            }
+            if inst.is_load() {
+                let p = self.deps.mem_producer(k);
+                if p != NO_PRODUCER {
+                    let p = p as usize;
+                    if p >= cqip_dyn {
+                        mask |= masks[p - cqip_dyn];
+                    } else if p >= sp_dyn {
+                        mask |= MEM_BIT;
+                    }
+                }
+            }
+            masks[k - cqip_dyn] = mask;
+        }
+        SampleWindow {
+            masks,
+            live_in_values,
+        }
+    }
+}
+
+struct SampleWindow {
+    masks: Vec<u64>,
+    live_in_values: [Option<u64>; specmt_isa::NUM_REGS],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmt_isa::{Pc, ProgramBuilder, Reg};
+
+    /// A loop over independent array blocks: iterations only share the
+    /// induction variable.
+    fn independent_loop(n: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R14, 0x10000);
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, n);
+        b.bind(top);
+        b.shli(Reg::R3, Reg::R1, 3);
+        b.add(Reg::R3, Reg::R14, Reg::R3);
+        // 40 instructions of per-iteration work, independent across
+        // iterations.
+        for _ in 0..20 {
+            b.ld(Reg::R4, Reg::R3, 0);
+            b.st(Reg::R4, Reg::R3, 0);
+        }
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        Trace::generate(b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn finds_loop_iteration_pair_in_independent_loop() {
+        let trace = independent_loop(100);
+        let result = profile_pairs(&trace, &ProfileConfig::default());
+        assert!(result.selected_pairs >= 1, "no pairs selected");
+        // The loop-body self pair (head @3 -> head @3) must be selected:
+        // probability 99/100, distance 44.
+        let head = Pc(3);
+        let cands = result.table.candidates(head);
+        assert!(
+            cands.iter().any(|p| p.cqip == head),
+            "missing self pair at {head}: {cands:?}"
+        );
+        let p = cands.iter().find(|p| p.cqip == head).unwrap();
+        assert!(p.prob >= 0.95);
+        assert!((p.avg_dist - 44.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_filters_low_probability_pairs() {
+        let trace = independent_loop(100);
+        let strict = profile_pairs(
+            &trace,
+            &ProfileConfig {
+                min_prob: 0.999,
+                ..ProfileConfig::default()
+            },
+        );
+        let lax = profile_pairs(
+            &trace,
+            &ProfileConfig {
+                min_prob: 0.5,
+                ..ProfileConfig::default()
+            },
+        );
+        assert!(strict.selected_pairs <= lax.selected_pairs);
+    }
+
+    #[test]
+    fn distinct_sps_never_exceed_selected_pairs() {
+        let trace = independent_loop(64);
+        let r = profile_pairs(&trace, &ProfileConfig::default());
+        assert!(r.distinct_sps <= r.selected_pairs);
+        assert!(r.coverage >= 0.9);
+        assert!(r.kept_blocks >= 1);
+    }
+
+    #[test]
+    fn induction_variable_serialises_independence_but_predicts_away() {
+        // Transitively, every instruction of an iteration hangs off the
+        // induction variable produced by the previous iteration, so the
+        // *independent* score is near zero — but the induction variable is
+        // perfectly stride-predictable, so the *predictable* score recovers
+        // nearly the whole 44-instruction thread. This asymmetry is exactly
+        // why the paper introduces criterion (c).
+        let trace = independent_loop(100);
+        let score_for = |criterion| {
+            let r = profile_pairs(
+                &trace,
+                &ProfileConfig {
+                    criterion,
+                    ..ProfileConfig::default()
+                },
+            );
+            let head = Pc(3);
+            r.table
+                .candidates(head)
+                .iter()
+                .find(|p| p.cqip == head)
+                .expect("self pair")
+                .score
+        };
+        let indep = score_for(OrderCriterion::Independent);
+        let pred = score_for(OrderCriterion::Predictable);
+        assert!(indep < 5.0, "independent score {indep}");
+        assert!(pred > 38.0, "predictable score {pred}");
+    }
+
+    #[test]
+    fn predictable_criterion_dominates_independent() {
+        // Predictable counts independent instructions too, so its score is
+        // always >= the independent score.
+        let trace = independent_loop(100);
+        let ri = profile_pairs(
+            &trace,
+            &ProfileConfig {
+                criterion: OrderCriterion::Independent,
+                ..ProfileConfig::default()
+            },
+        );
+        let rp = profile_pairs(
+            &trace,
+            &ProfileConfig {
+                criterion: OrderCriterion::Predictable,
+                ..ProfileConfig::default()
+            },
+        );
+        for pi in ri.table.iter().filter(|p| p.origin == PairOrigin::Profile) {
+            let pp = rp
+                .table
+                .candidates(pi.sp)
+                .iter()
+                .find(|p| p.cqip == pi.cqip)
+                .expect("same pair set");
+            assert!(
+                pp.score >= pi.score - 1e-9,
+                "predictable {} < independent {} for {:?}",
+                pp.score,
+                pi.score,
+                (pi.sp, pi.cqip)
+            );
+        }
+    }
+
+    #[test]
+    fn serial_chain_scores_low_on_independence() {
+        // A loop where everything hangs off a serial accumulator.
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 100);
+        b.li(Reg::R5, 1);
+        b.bind(top);
+        for _ in 0..40 {
+            b.muli(Reg::R5, Reg::R5, 3); // serial, value-unpredictable chain
+        }
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        let trace = Trace::generate(b.build().unwrap(), 1_000_000).unwrap();
+        for criterion in [OrderCriterion::Independent, OrderCriterion::Predictable] {
+            let r = profile_pairs(
+                &trace,
+                &ProfileConfig {
+                    criterion,
+                    ..ProfileConfig::default()
+                },
+            );
+            let head = Pc(3);
+            let p = r
+                .table
+                .candidates(head)
+                .iter()
+                .find(|p| p.cqip == head)
+                .expect("self pair");
+            // A multiplicative chain is neither independent nor
+            // stride-predictable; only the induction-variable instructions
+            // escape it.
+            assert!(p.score < 10.0, "{criterion:?} score {}", p.score);
+        }
+    }
+
+    #[test]
+    fn return_pairs_can_be_disabled() {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 50);
+        b.bind(top);
+        b.call("leaf");
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        b.begin_func("leaf");
+        for _ in 0..40 {
+            b.nop();
+        }
+        b.ret();
+        b.end_func();
+        let trace = Trace::generate(b.build().unwrap(), 100_000).unwrap();
+        let with = profile_pairs(&trace, &ProfileConfig::default());
+        let without = profile_pairs(
+            &trace,
+            &ProfileConfig {
+                include_return_pairs: false,
+                ..ProfileConfig::default()
+            },
+        );
+        let count = |t: &SpawnTable| {
+            t.iter()
+                .filter(|p| p.origin == PairOrigin::ReturnPair)
+                .count()
+        };
+        assert!(count(&with.table) >= 1);
+        assert_eq!(count(&without.table), 0);
+    }
+}

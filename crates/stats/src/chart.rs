@@ -1,0 +1,94 @@
+//! ASCII bar charts for terminal figure rendering.
+
+/// A horizontal ASCII bar chart, used by the figure binaries to echo the
+/// paper's bar plots in a terminal.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_stats::BarChart;
+///
+/// let mut c = BarChart::new("Speed-up", 40);
+/// c.bar("ijpeg", 11.9);
+/// c.bar("go", 4.3);
+/// let s = c.render();
+/// assert!(s.contains("ijpeg"));
+/// assert!(s.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart with a title and a maximum bar width in characters.
+    pub fn new(title: &str, width: usize) -> BarChart {
+        BarChart {
+            title: title.to_string(),
+            width: width.max(1),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends one labelled bar.
+    ///
+    /// Negative values are clamped to zero.
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut BarChart {
+        self.bars.push((label.to_string(), value.max(0.0)));
+        self
+    }
+
+    /// Renders the chart; bars are scaled so the maximum value fills the
+    /// width.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.bars {
+            let n = ((value / max) * self.width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {label:<label_w$} {bar:<width$} {value:.2}\n",
+                bar = "#".repeat(n),
+                width = self.width,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_bar_fills_width() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("a", 5.0).bar("b", 10.0);
+        let s = c.render();
+        let b_line = s.lines().find(|l| l.trim_start().starts_with('b')).unwrap();
+        assert!(b_line.contains(&"#".repeat(10)));
+    }
+
+    #[test]
+    fn zero_values_render_no_hash() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("z", 0.0).bar("x", 1.0);
+        let s = c.render();
+        let z_line = s.lines().find(|l| l.trim_start().starts_with('z')).unwrap();
+        assert!(!z_line.contains('#'));
+    }
+
+    #[test]
+    fn negative_values_are_clamped() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("n", -3.0).bar("p", 1.0);
+        assert!(c.render().contains("0.00"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # specmt-stats
+//!
+//! Small statistics and presentation helpers for the `specmt` experiment
+//! harness: the means the paper reports (harmonic for speed-ups, arithmetic
+//! for counts), aligned text tables, and ASCII bar charts that render the
+//! paper's figures in a terminal.
+//!
+//! # Examples
+//!
+//! ```
+//! use specmt_stats::{harmonic_mean, Table};
+//!
+//! let speedups = [2.0, 4.0];
+//! assert!((harmonic_mean(&speedups) - 8.0 / 3.0).abs() < 1e-12);
+//!
+//! let mut t = Table::new(&["bench", "speedup"]);
+//! t.row(&["ijpeg", "11.9"]);
+//! assert!(t.render().contains("ijpeg"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chart;
+mod means;
+mod table;
+
+pub use chart::BarChart;
+pub use means::{arithmetic_mean, geometric_mean, harmonic_mean};
+pub use table::Table;

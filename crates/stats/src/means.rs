@@ -1,0 +1,96 @@
+//! The means the paper reports.
+
+/// Arithmetic mean; zero for an empty slice.
+///
+/// The paper uses arithmetic means ("Amean") for counts such as active
+/// threads (Figure 4) and thread sizes (Figure 7a).
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Harmonic mean; zero for an empty slice.
+///
+/// The paper uses harmonic means ("Hmean") for speed-ups (Figures 3, 5, 6,
+/// 8, 9b, 10b).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive — a speed-up of zero has no
+/// harmonic mean.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let denom: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "harmonic mean requires positive values, got {v}");
+            1.0 / v
+        })
+        .sum();
+    values.len() as f64 / denom
+}
+
+/// Geometric mean; zero for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_of_constants_are_the_constant() {
+        let v = [3.0, 3.0, 3.0];
+        assert_eq!(arithmetic_mean(&v), 3.0);
+        assert!((harmonic_mean(&v) - 3.0).abs() < 1e-12);
+        assert!((geometric_mean(&v) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_inequality_holds() {
+        let v = [1.0, 2.0, 4.0, 8.0];
+        let a = arithmetic_mean(&v);
+        let g = geometric_mean(&v);
+        let h = harmonic_mean(&v);
+        assert!(h < g && g < a, "h={h} g={g} a={a}");
+    }
+
+    #[test]
+    fn empty_slices_yield_zero() {
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn harmonic_mean_rejects_zero() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn harmonic_mean_known_value() {
+        // hmean(1, 2) = 2 / (1 + 1/2) = 4/3
+        assert!((harmonic_mean(&[1.0, 2.0]) - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

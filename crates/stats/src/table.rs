@@ -1,0 +1,147 @@
+//! Aligned plain-text tables.
+
+/// A simple column-aligned text table for harness output (and for the
+/// markdown-ish tables in EXPERIMENTS.md).
+///
+/// # Examples
+///
+/// ```
+/// use specmt_stats::Table;
+///
+/// let mut t = Table::new(&["bench", "speedup"]);
+/// t.row(&["go", "4.3"]);
+/// t.row(&["ijpeg", "12.4"]);
+/// let s = t.render();
+/// assert!(s.lines().count() >= 4); // header, rule, two rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Table {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header rule, columns padded to fit.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || ".%x-+".contains(c))
+                    && !cell.is_empty();
+                if numeric {
+                    line.push_str(&format!("{cell:>w$}", w = w));
+                } else {
+                    line.push_str(&format!("{cell:<w$}", w = w));
+                }
+            }
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for row in &self.rows {
+            let mut cells = row.clone();
+            cells.resize(self.header.len(), String::new());
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["short", "1.0"]);
+        t.row(&["a-much-longer-name", "12.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width thanks to padding (trailing spaces trimmed
+        // only by the numeric right-alignment).
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("short"));
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1", "2"]);
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["only-one"]);
+        let md = t.render_markdown();
+        assert!(md.contains("| only-one |  |  |"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! Dynamic data-dependence graphs over traces.
+
+use std::collections::HashMap;
+
+use specmt_isa::Reg;
+
+use crate::Trace;
+
+/// Sentinel producer index meaning "no producer in the trace" (the operand's
+/// value predates execution: an initial register value or pre-loaded
+/// memory).
+pub const NO_PRODUCER: u32 = u32::MAX;
+
+/// For every dynamic instruction of a [`Trace`], the dynamic indices of the
+/// instructions that produced its operands.
+///
+/// * `reg_producer(k, s)` — producer of the `s`-th register source operand
+///   of dynamic instruction `k` (matching [`Inst::srcs`]), or
+///   [`NO_PRODUCER`].
+/// * `mem_producer(k)` — for loads, the most recent earlier store to the
+///   same word address, or [`NO_PRODUCER`].
+///
+/// Reads of the hardwired-zero register have no producer.
+///
+/// This is the raw material for the paper's *independent* and *predictable*
+/// CQIP-ordering criteria (§3.1 criteria b/c) and for the simulator's
+/// inter-thread register/memory communication model.
+///
+/// [`Inst::srcs`]: specmt_isa::Inst::srcs
+///
+/// # Examples
+///
+/// ```
+/// use specmt_isa::{ProgramBuilder, Reg};
+/// use specmt_trace::{DepGraph, Trace, NO_PRODUCER};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 2); // dyn 0
+/// b.addi(Reg::R2, Reg::R1, 1); // dyn 1: consumes dyn 0
+/// b.halt();
+/// let trace = Trace::generate(b.build()?, 100)?;
+/// let deps = DepGraph::build(&trace);
+/// assert_eq!(deps.reg_producer(1, 0), 0);
+/// assert_eq!(deps.reg_producer(0, 0), NO_PRODUCER);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    reg_producers: Vec<[u32; 2]>,
+    mem_producers: Vec<u32>,
+}
+
+impl DepGraph {
+    /// Computes producers for every dynamic instruction of `trace`.
+    ///
+    /// Runs in a single pass: `O(len)` time, `O(len + distinct addresses)`
+    /// space.
+    pub fn build(trace: &Trace) -> DepGraph {
+        let n = trace.len();
+        let mut reg_producers = vec![[NO_PRODUCER; 2]; n];
+        let mut mem_producers = vec![NO_PRODUCER; n];
+        let mut last_reg_write = [NO_PRODUCER; specmt_isa::NUM_REGS];
+        let mut last_store: HashMap<u64, u32> = HashMap::new();
+
+        for k in 0..n {
+            let inst = trace.inst(k);
+            let rec = trace.record(k).expect("index in range");
+            for (s, src) in inst.srcs().into_iter().enumerate() {
+                if let Some(r) = src {
+                    if !r.is_zero() {
+                        reg_producers[k][s] = last_reg_write[r.index()];
+                    }
+                }
+            }
+            if inst.is_load() {
+                if let Some(&p) = last_store.get(&rec.addr) {
+                    mem_producers[k] = p;
+                }
+            }
+            if inst.is_store() {
+                last_store.insert(rec.addr, k as u32);
+            }
+            if let Some(dst) = inst.dst() {
+                if !dst.is_zero() {
+                    last_reg_write[dst.index()] = k as u32;
+                }
+            }
+        }
+
+        DepGraph {
+            reg_producers,
+            mem_producers,
+        }
+    }
+
+    /// Number of dynamic instructions covered.
+    pub fn len(&self) -> usize {
+        self.reg_producers.len()
+    }
+
+    /// Whether the graph covers an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.reg_producers.is_empty()
+    }
+
+    /// Producer of the `s`-th register source operand of dynamic
+    /// instruction `k` (`s` in `0..2`), or [`NO_PRODUCER`].
+    pub fn reg_producer(&self, k: usize, s: usize) -> u32 {
+        self.reg_producers[k][s]
+    }
+
+    /// Both register-operand producers of dynamic instruction `k`.
+    pub fn reg_producers(&self, k: usize) -> [u32; 2] {
+        self.reg_producers[k]
+    }
+
+    /// Producer store of a load at dynamic index `k`, or [`NO_PRODUCER`].
+    pub fn mem_producer(&self, k: usize) -> u32 {
+        self.mem_producers[k]
+    }
+
+    /// The register live-ins of the window `start..end`: registers read
+    /// within the window whose producing instruction lies before `start`,
+    /// together with the producer index ([`NO_PRODUCER`] if the value
+    /// predates the trace) and the dynamic index of the first in-window
+    /// consumer.
+    ///
+    /// This is exactly the set of values the paper's processor predicts when
+    /// it spawns a thread over that window.
+    pub fn live_ins(&self, trace: &Trace, start: usize, end: usize) -> Vec<LiveIn> {
+        debug_assert!(start <= end && end <= trace.len());
+        let mut seen_write = [false; specmt_isa::NUM_REGS];
+        let mut out = Vec::new();
+        let mut seen_live = [false; specmt_isa::NUM_REGS];
+        for k in start..end {
+            let inst = trace.inst(k);
+            for (s, src) in inst.srcs().into_iter().enumerate() {
+                let Some(r) = src else { continue };
+                if r.is_zero() || seen_write[r.index()] || seen_live[r.index()] {
+                    continue;
+                }
+                seen_live[r.index()] = true;
+                out.push(LiveIn {
+                    reg: r,
+                    producer: self.reg_producers[k][s],
+                    first_use: k as u32,
+                });
+            }
+            if let Some(dst) = inst.dst() {
+                if !dst.is_zero() {
+                    seen_write[dst.index()] = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One thread live-in value: a register whose first in-window read precedes
+/// any in-window write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveIn {
+    /// The live-in register.
+    pub reg: Reg,
+    /// Dynamic index of the producing instruction (before the window), or
+    /// [`NO_PRODUCER`].
+    pub producer: u32,
+    /// Dynamic index of the first consumer inside the window.
+    pub first_use: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmt_isa::ProgramBuilder;
+
+    fn mem_chain_trace() -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0x100); // 0
+        b.li(Reg::R2, 5); // 1
+        b.st(Reg::R2, Reg::R1, 0); // 2: store 5 -> 0x100
+        b.ld(Reg::R3, Reg::R1, 0); // 3: load from 0x100 (producer = 2)
+        b.st(Reg::R3, Reg::R1, 8); // 4: store -> 0x108
+        b.ld(Reg::R4, Reg::R1, 8); // 5: load (producer = 4)
+        b.ld(Reg::R5, Reg::R1, 16); // 6: load from untouched memory
+        b.halt();
+        Trace::generate(b.build().unwrap(), 100).unwrap()
+    }
+
+    #[test]
+    fn memory_producers_track_addresses() {
+        let trace = mem_chain_trace();
+        let deps = DepGraph::build(&trace);
+        assert_eq!(deps.mem_producer(3), 2);
+        assert_eq!(deps.mem_producer(5), 4);
+        assert_eq!(deps.mem_producer(6), NO_PRODUCER);
+        // Non-loads have no memory producer.
+        assert_eq!(deps.mem_producer(2), NO_PRODUCER);
+    }
+
+    #[test]
+    fn register_producers_follow_last_writer() {
+        let trace = mem_chain_trace();
+        let deps = DepGraph::build(&trace);
+        // Store at dyn 4: srcs = [R3 (from load 3), R1 (from li 0)]
+        assert_eq!(deps.reg_producer(4, 0), 3);
+        assert_eq!(deps.reg_producer(4, 1), 0);
+    }
+
+    #[test]
+    fn producers_always_precede_consumers() {
+        let trace = mem_chain_trace();
+        let deps = DepGraph::build(&trace);
+        for k in 0..deps.len() {
+            for s in 0..2 {
+                let p = deps.reg_producer(k, s);
+                if p != NO_PRODUCER {
+                    assert!((p as usize) < k);
+                }
+            }
+            let m = deps.mem_producer(k);
+            if m != NO_PRODUCER {
+                assert!((m as usize) < k);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_register_reads_have_no_producer() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1); // dyn 0 (irrelevant)
+        b.add(Reg::R2, Reg::ZERO, Reg::ZERO); // dyn 1
+        b.halt();
+        let trace = Trace::generate(b.build().unwrap(), 100).unwrap();
+        let deps = DepGraph::build(&trace);
+        assert_eq!(deps.reg_producer(1, 0), NO_PRODUCER);
+        assert_eq!(deps.reg_producer(1, 1), NO_PRODUCER);
+    }
+
+    #[test]
+    fn live_ins_respect_window_writes() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 10); // 0
+        b.li(Reg::R2, 20); // 1
+                           // window start
+        b.addi(Reg::R3, Reg::R1, 0); // 2: reads R1 (live-in)
+        b.addi(Reg::R1, Reg::R1, 1); // 3: reads R1 (already counted), writes R1
+        b.addi(Reg::R4, Reg::R1, 0); // 4: reads R1 after in-window write: not live-in
+        b.addi(Reg::R5, Reg::R2, 0); // 5: reads R2 (live-in)
+        b.halt();
+        let trace = Trace::generate(b.build().unwrap(), 100).unwrap();
+        let deps = DepGraph::build(&trace);
+        let live = deps.live_ins(&trace, 2, 6);
+        let regs: Vec<Reg> = live.iter().map(|l| l.reg).collect();
+        assert_eq!(regs, vec![Reg::R1, Reg::R2]);
+        assert_eq!(live[0].producer, 0);
+        assert_eq!(live[0].first_use, 2);
+        assert_eq!(live[1].producer, 1);
+        assert_eq!(live[1].first_use, 5);
+    }
+
+    #[test]
+    fn live_in_with_no_trace_producer() {
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg::R1, Reg::SP, 0); // reads SP, initialised outside the trace
+        b.halt();
+        let trace = Trace::generate(b.build().unwrap(), 100).unwrap();
+        let deps = DepGraph::build(&trace);
+        let live = deps.live_ins(&trace, 0, 1);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].reg, Reg::SP);
+        assert_eq!(live[0].producer, NO_PRODUCER);
+    }
+}

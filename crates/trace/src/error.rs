@@ -1,0 +1,75 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+use specmt_isa::Pc;
+
+/// Errors produced during emulation or trace generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Control transferred to an address outside the program (typically a
+    /// `ret` with a clobbered link register).
+    BadPc {
+        /// The invalid program counter.
+        pc: Pc,
+        /// Program length.
+        len: usize,
+    },
+    /// A load or store used an address that is not a multiple of the word
+    /// size.
+    UnalignedAccess {
+        /// Address of the faulting instruction.
+        at: Pc,
+        /// The unaligned effective address.
+        addr: u64,
+    },
+    /// The program did not halt within the step budget.
+    StepLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadPc { pc, len } => {
+                write!(
+                    f,
+                    "control transferred to {pc}, outside program of length {len}"
+                )
+            }
+            TraceError::UnalignedAccess { at, addr } => {
+                write!(f, "unaligned memory access to {addr:#x} at {at}")
+            }
+            TraceError::StepLimitExceeded { limit } => {
+                write!(f, "program did not halt within {limit} steps")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceError::UnalignedAccess {
+            at: Pc(3),
+            addr: 13,
+        };
+        assert!(e.to_string().contains("0xd"));
+        assert!(e.to_string().contains("@3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

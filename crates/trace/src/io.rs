@@ -1,0 +1,288 @@
+//! Compact binary serialization for traces.
+//!
+//! Traces are expensive to regenerate for large workloads, so they can be
+//! persisted in a self-contained container:
+//!
+//! ```text
+//! magic "SMTR" | version u32 LE | program-JSON length u32 LE | program JSON
+//! | record count u64 LE | final regs (32 x u64 LE) | records...
+//! ```
+//!
+//! Each record is delta/varint packed: a flags byte (taken / has-address /
+//! has-result / pc-is-next), then the pc as a varint unless it is simply the
+//! previous pc + 1 (the overwhelmingly common case), then the effective
+//! address and result as varints when present. Typical traces compress to
+//! 3–6 bytes per dynamic instruction.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+use specmt_isa::Pc;
+
+use crate::{DynInst, Trace};
+
+const MAGIC: &[u8; 4] = b"SMTR";
+const VERSION: u32 = 1;
+
+const FLAG_TAKEN: u8 = 1 << 0;
+const FLAG_ADDR: u8 = 1 << 1;
+const FLAG_RESULT: u8 = 1 << 2;
+const FLAG_SEQ_PC: u8 = 1 << 3;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated varint",
+            ));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+impl Trace {
+    /// Serializes the trace (including its program and final register file)
+    /// to `w` in the compact binary container format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use specmt_isa::{ProgramBuilder, Reg};
+    /// use specmt_trace::Trace;
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// b.li(Reg::R1, 3);
+    /// b.halt();
+    /// let trace = Trace::generate(b.build()?, 100)?;
+    ///
+    /// let mut bytes = Vec::new();
+    /// trace.write_to(&mut bytes)?;
+    /// let copy = Trace::read_from(&bytes[..])?;
+    /// assert_eq!(copy.records(), trace.records());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn write_to(&self, mut w: impl Write) -> io::Result<()> {
+        let program_json = serde_json::to_vec(self.program().as_ref())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut buf = BytesMut::with_capacity(self.len() * 5 + program_json.len() + 64);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(program_json.len() as u32);
+        buf.put_slice(&program_json);
+        buf.put_u64_le(self.len() as u64);
+        for r in specmt_isa::Reg::all() {
+            buf.put_u64_le(self.final_reg(r));
+        }
+
+        let mut prev_pc: u64 = u64::MAX;
+        for rec in self.records() {
+            let mut flags = 0u8;
+            if rec.taken {
+                flags |= FLAG_TAKEN;
+            }
+            if rec.addr != 0 {
+                flags |= FLAG_ADDR;
+            }
+            if rec.result != 0 {
+                flags |= FLAG_RESULT;
+            }
+            let seq = u64::from(rec.pc.0) == prev_pc.wrapping_add(1);
+            if seq {
+                flags |= FLAG_SEQ_PC;
+            }
+            buf.put_u8(flags);
+            if !seq {
+                put_varint(&mut buf, u64::from(rec.pc.0));
+            }
+            if flags & FLAG_ADDR != 0 {
+                put_varint(&mut buf, rec.addr);
+            }
+            if flags & FLAG_RESULT != 0 {
+                put_varint(&mut buf, rec.result);
+            }
+            prev_pc = u64::from(rec.pc.0);
+        }
+        w.write_all(&buf)
+    }
+
+    /// Deserializes a trace previously written by [`Trace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures, an unrecognised container (bad
+    /// magic or version), or corrupt contents.
+    pub fn read_from(mut r: impl Read) -> io::Result<Trace> {
+        let mut data = Vec::new();
+        r.read_to_end(&mut data)?;
+        let mut buf: &[u8] = &data;
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+
+        if buf.remaining() < 12 || &buf[..4] != MAGIC {
+            return Err(bad("not a specmt trace (bad magic)"));
+        }
+        buf.advance(4);
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(bad(&format!("unsupported trace version {version}")));
+        }
+        let plen = buf.get_u32_le() as usize;
+        if buf.remaining() < plen {
+            return Err(bad("truncated program header"));
+        }
+        let program: specmt_isa::Program =
+            serde_json::from_slice(&buf[..plen]).map_err(|e| bad(&e.to_string()))?;
+        buf.advance(plen);
+        if buf.remaining() < 8 + 32 * 8 {
+            return Err(bad("truncated trailer"));
+        }
+        let count = buf.get_u64_le() as usize;
+        let mut final_regs = [0u64; specmt_isa::NUM_REGS];
+        for slot in &mut final_regs {
+            *slot = buf.get_u64_le();
+        }
+
+        let program_len = program.len() as u64;
+        let mut records = Vec::with_capacity(count);
+        let mut prev_pc: u64 = u64::MAX;
+        for _ in 0..count {
+            if !buf.has_remaining() {
+                return Err(bad("truncated records"));
+            }
+            let flags = buf.get_u8();
+            let pc = if flags & FLAG_SEQ_PC != 0 {
+                prev_pc.wrapping_add(1)
+            } else {
+                get_varint(&mut buf)?
+            };
+            if pc >= program_len {
+                return Err(bad("record pc outside program"));
+            }
+            let addr = if flags & FLAG_ADDR != 0 {
+                get_varint(&mut buf)?
+            } else {
+                0
+            };
+            let result = if flags & FLAG_RESULT != 0 {
+                get_varint(&mut buf)?
+            } else {
+                0
+            };
+            records.push(DynInst {
+                pc: Pc(pc as u32),
+                taken: flags & FLAG_TAKEN != 0,
+                addr,
+                result,
+            });
+            prev_pc = pc;
+        }
+        Ok(Trace::from_parts(program, records, final_regs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmt_isa::{ProgramBuilder, Reg};
+
+    fn sample_trace() -> Trace {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R14, 0x10000);
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 37);
+        b.bind(top);
+        b.shli(Reg::R3, Reg::R1, 3);
+        b.add(Reg::R3, Reg::R14, Reg::R3);
+        b.st(Reg::R1, Reg::R3, 0);
+        b.ld(Reg::R4, Reg::R3, 0);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        Trace::generate(b.build().unwrap(), 10_000).unwrap()
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let copy = Trace::read_from(&bytes[..]).unwrap();
+        assert_eq!(copy.records(), trace.records());
+        assert_eq!(copy.program().insts(), trace.program().insts());
+        for r in Reg::all() {
+            assert_eq!(copy.final_reg(r), trace.final_reg(r));
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        // The in-memory record is 24+ bytes; on disk it must average under 8.
+        let per_record = bytes.len() as f64 / trace.len() as f64;
+        assert!(per_record < 8.0, "{per_record:.1} bytes/record");
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+
+        let mut corrupt = bytes.clone();
+        corrupt[0] = b'X';
+        assert!(Trace::read_from(&corrupt[..]).is_err());
+
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(Trace::read_from(truncated).is_err());
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xff;
+        assert!(Trace::read_from(&bad_version[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_pcs() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        // Flip a record's pc varint to something huge: corrupt the last few
+        // record bytes until read fails with InvalidData (never panics).
+        for i in (bytes.len().saturating_sub(16))..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] = 0x7f;
+            let _ = Trace::read_from(&corrupt[..]); // must not panic
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Sparse, paged word-addressable memory.
+
+use std::collections::HashMap;
+
+use specmt_isa::WORD_BYTES;
+
+const PAGE_WORDS_LOG2: u64 = 12;
+const PAGE_WORDS: usize = 1 << PAGE_WORDS_LOG2;
+
+/// Sparse 64-bit word memory, allocated in 32 KiB pages on first touch.
+///
+/// Addresses are byte addresses; all accesses are word (8-byte) granular and
+/// must be word aligned (the [`Emulator`](crate::Emulator) enforces this for
+/// emulated programs; direct users should align addresses themselves).
+/// Untouched memory reads as zero.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_trace::Memory;
+///
+/// let mut mem = Memory::new();
+/// assert_eq!(mem.load(0x1000), 0);
+/// mem.store(0x1000, 42);
+/// assert_eq!(mem.load(0x1000), 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    #[inline]
+    fn split(addr: u64) -> (u64, usize) {
+        let word = addr / WORD_BYTES;
+        (
+            word >> PAGE_WORDS_LOG2,
+            (word & (PAGE_WORDS as u64 - 1)) as usize,
+        )
+    }
+
+    /// Reads the word at byte address `addr` (aligned down to a word
+    /// boundary).
+    pub fn load(&self, addr: u64) -> u64 {
+        let (page, off) = Memory::split(addr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes the word at byte address `addr` (aligned down to a word
+    /// boundary).
+    pub fn store(&mut self, addr: u64, value: u64) {
+        let (page, off) = Memory::split(addr);
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[off] = value;
+    }
+
+    /// Number of resident pages (for memory-footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_is_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.load(0), 0);
+        assert_eq!(mem.load(u64::MAX & !7), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut mem = Memory::new();
+        mem.store(0x10, u64::MAX);
+        mem.store(0x18, 7);
+        assert_eq!(mem.load(0x10), u64::MAX);
+        assert_eq!(mem.load(0x18), 7);
+    }
+
+    #[test]
+    fn distant_addresses_use_distinct_pages() {
+        let mut mem = Memory::new();
+        mem.store(0, 1);
+        mem.store(1 << 40, 2);
+        assert_eq!(mem.resident_pages(), 2);
+        assert_eq!(mem.load(0), 1);
+        assert_eq!(mem.load(1 << 40), 2);
+    }
+
+    #[test]
+    fn adjacent_words_do_not_alias() {
+        let mut mem = Memory::new();
+        for i in 0..100u64 {
+            mem.store(i * 8, i);
+        }
+        for i in 0..100u64 {
+            assert_eq!(mem.load(i * 8), i);
+        }
+    }
+
+    #[test]
+    fn page_boundary_is_seamless() {
+        let mut mem = Memory::new();
+        // Page holds 4096 words = 32768 bytes; straddle the boundary.
+        let boundary = 4096 * 8;
+        mem.store(boundary - 8, 10);
+        mem.store(boundary, 20);
+        assert_eq!(mem.load(boundary - 8), 10);
+        assert_eq!(mem.load(boundary), 20);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+}

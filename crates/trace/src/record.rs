@@ -1,0 +1,276 @@
+//! Dynamic instruction records and traces.
+
+use std::sync::Arc;
+
+use specmt_isa::{Inst, Pc, Program, Reg};
+
+use crate::{Emulator, StepOutcome, TraceError};
+
+/// One executed (dynamic) instruction.
+///
+/// The record captures everything the downstream analyses and the timing
+/// simulator need to replay the instruction without re-emulating:
+///
+/// * `pc` — the static instruction it came from,
+/// * `taken` — whether the instruction redirected fetch (taken conditional
+///   branch, jump, call or return),
+/// * `addr` — the effective byte address for loads and stores (zero
+///   otherwise), and
+/// * `result` — the value written to the destination register, or the value
+///   stored to memory for stores (zero for instructions with no result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Static instruction address.
+    pub pc: Pc,
+    /// Whether fetch was redirected by this instruction.
+    pub taken: bool,
+    /// Effective address of the memory access, if any.
+    pub addr: u64,
+    /// Produced (register or stored) value.
+    pub result: u64,
+}
+
+/// A complete dynamic instruction stream from one program execution,
+/// together with the program that produced it and the final register file.
+///
+/// Traces are the interchange format of the whole toolkit: the profile
+/// analyses in `specmt-analysis` read the block structure out of them, the
+/// spawning-pair selectors in `specmt-spawn` mine them for candidate pairs,
+/// and the processor model in `specmt-sim` replays them under a timing
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_isa::{ProgramBuilder, Reg};
+/// use specmt_trace::Trace;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 7);
+/// b.halt();
+/// let trace = Trace::generate(b.build()?, 100)?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.record(0).unwrap().result, 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    program: Arc<Program>,
+    records: Vec<DynInst>,
+    final_regs: [u64; specmt_isa::NUM_REGS],
+}
+
+impl Trace {
+    /// Executes `program` to completion and records its dynamic instruction
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::StepLimitExceeded`] if the program does not
+    /// halt within `max_steps`, or any emulation fault
+    /// ([`TraceError::BadPc`], [`TraceError::UnalignedAccess`]).
+    pub fn generate(program: Program, max_steps: u64) -> Result<Trace, TraceError> {
+        Trace::generate_arc(Arc::new(program), max_steps)
+    }
+
+    /// As [`Trace::generate`], but shares an existing [`Arc`]ed program.
+    ///
+    /// # Errors
+    ///
+    /// As [`Trace::generate`].
+    pub fn generate_arc(program: Arc<Program>, max_steps: u64) -> Result<Trace, TraceError> {
+        let mut emu = Emulator::from_arc(Arc::clone(&program));
+        let mut records = Vec::new();
+        loop {
+            if records.len() as u64 >= max_steps {
+                return Err(TraceError::StepLimitExceeded { limit: max_steps });
+            }
+            match emu.step()? {
+                StepOutcome::Executed(rec) => records.push(rec),
+                StepOutcome::Halted => break,
+            }
+        }
+        let mut final_regs = [0u64; specmt_isa::NUM_REGS];
+        for r in Reg::all() {
+            final_regs[r.index()] = emu.reg(r);
+        }
+        Ok(Trace {
+            program,
+            records,
+            final_regs,
+        })
+    }
+
+    /// Reassembles a trace from its parts (used by the binary
+    /// deserializer). The caller is responsible for the records being a
+    /// genuine execution of `program`.
+    pub(crate) fn from_parts(
+        program: Program,
+        records: Vec<DynInst>,
+        final_regs: [u64; specmt_isa::NUM_REGS],
+    ) -> Trace {
+        Trace {
+            program: Arc::new(program),
+            records,
+            final_regs,
+        }
+    }
+
+    /// The program this trace was recorded from.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Number of dynamic instructions (including the final `halt`).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty (never true for a generated trace — the
+    /// `halt` itself is recorded).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All dynamic records, in execution order.
+    pub fn records(&self) -> &[DynInst] {
+        &self.records
+    }
+
+    /// The record at dynamic index `k`.
+    pub fn record(&self, k: usize) -> Option<&DynInst> {
+        self.records.get(k)
+    }
+
+    /// The static instruction executed at dynamic index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn inst(&self, k: usize) -> &Inst {
+        self.program
+            .inst(self.records[k].pc)
+            .expect("trace pc within program")
+    }
+
+    /// The final architectural value of `reg` after the program halted.
+    pub fn final_reg(&self, reg: Reg) -> u64 {
+        self.final_regs[reg.index()]
+    }
+
+    /// Counts the dynamic occurrences of each static instruction.
+    ///
+    /// The returned vector is indexed by [`Pc`] index and has one entry per
+    /// static instruction.
+    pub fn execution_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.program.len()];
+        for r in &self.records {
+            counts[r.pc.index()] += 1;
+        }
+        counts
+    }
+
+    /// Summarises the dynamic instruction mix.
+    pub fn mix(&self) -> TraceMix {
+        let mut mix = TraceMix::default();
+        for r in &self.records {
+            let inst = self.program.inst(r.pc).expect("trace pc within program");
+            mix.total += 1;
+            if inst.is_load() {
+                mix.loads += 1;
+            } else if inst.is_store() {
+                mix.stores += 1;
+            } else if inst.is_cond_branch() {
+                mix.cond_branches += 1;
+                if r.taken {
+                    mix.taken_cond_branches += 1;
+                }
+            } else if inst.is_call() {
+                mix.calls += 1;
+            }
+        }
+        mix
+    }
+}
+
+/// Aggregate dynamic instruction-mix statistics for a [`Trace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceMix {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Dynamic conditional branches.
+    pub cond_branches: u64,
+    /// Dynamic conditional branches that were taken.
+    pub taken_cond_branches: u64,
+    /// Dynamic subroutine calls.
+    pub calls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmt_isa::ProgramBuilder;
+
+    fn loop_program(n: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, n);
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generate_counts_every_dynamic_instruction() {
+        let trace = Trace::generate(loop_program(4), 1000).unwrap();
+        // 2 setup + 4*2 loop + 1 halt
+        assert_eq!(trace.len(), 11);
+        assert_eq!(trace.final_reg(Reg::R1), 4);
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let err = Trace::generate(loop_program(1_000_000), 100).unwrap_err();
+        assert_eq!(err, TraceError::StepLimitExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn execution_counts_sum_to_trace_length() {
+        let trace = Trace::generate(loop_program(7), 1000).unwrap();
+        let counts = trace.execution_counts();
+        assert_eq!(counts.iter().sum::<u64>(), trace.len() as u64);
+        // The loop body executed 7 times.
+        assert_eq!(counts[2], 7);
+        assert_eq!(counts[3], 7);
+    }
+
+    #[test]
+    fn mix_classifies_branches() {
+        let trace = Trace::generate(loop_program(3), 1000).unwrap();
+        let mix = trace.mix();
+        assert_eq!(mix.total, trace.len() as u64);
+        assert_eq!(mix.cond_branches, 3);
+        assert_eq!(mix.taken_cond_branches, 2); // last iteration falls through
+        assert_eq!(mix.loads + mix.stores + mix.calls, 0);
+    }
+
+    #[test]
+    fn branch_records_mark_taken() {
+        let trace = Trace::generate(loop_program(2), 1000).unwrap();
+        let branch_records: Vec<&DynInst> = trace
+            .records()
+            .iter()
+            .filter(|r| trace.program().inst(r.pc).unwrap().is_cond_branch())
+            .collect();
+        assert_eq!(branch_records.len(), 2);
+        assert!(branch_records[0].taken);
+        assert!(!branch_records[1].taken);
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared helpers for workload generators.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Base byte address for workload data regions. Everything lives far below
+/// the stack top.
+pub const DATA_BASE: u64 = 0x0010_0000;
+
+/// Deterministic data generator: a seeded ChaCha stream, stable across
+/// platforms and crate versions.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// `n` deterministic pseudo-random words for the given seed.
+pub fn random_words(seed: u64, n: usize) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen::<u64>()).collect()
+}
+
+/// Which input a workload is generated with.
+///
+/// SPEC distinguishes *training* inputs (used for profiling) from
+/// *reference* inputs (used for reporting); the paper profiles and
+/// evaluates on training data. This toolkit supports both so the
+/// `crossinput` harness can test how well training-selected spawning pairs
+/// transfer to a different input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InputSet {
+    /// The default input every `Scale` uses.
+    #[default]
+    Train,
+    /// A differently-seeded, 25 % larger input.
+    Ref,
+}
+
+impl InputSet {
+    /// Salt mixed into every data seed.
+    pub fn salt(self) -> u64 {
+        match self {
+            InputSet::Train => 0,
+            InputSet::Ref => 0x5eed_0000_0000_0001,
+        }
+    }
+
+    /// Scales an iteration/trip count for this input.
+    pub fn work(self, n: u64) -> u64 {
+        match self {
+            InputSet::Train => n,
+            InputSet::Ref => n + n / 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_words_are_deterministic() {
+        assert_eq!(random_words(7, 16), random_words(7, 16));
+        assert_ne!(random_words(7, 16), random_words(8, 16));
+    }
+}

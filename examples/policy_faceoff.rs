@@ -1,0 +1,76 @@
+//! Policy face-off: every spawning policy on the whole suite.
+//!
+//! Compares the profile-based scheme against each construct heuristic
+//! individually and their combination — the comparison behind the paper's
+//! §4.2.1 and Figure 8 — at 16 thread units with perfect value prediction.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example policy_faceoff
+//! ```
+
+use specmt::sim::SimConfig;
+use specmt::spawn::{HeuristicSet, ProfileConfig};
+use specmt::stats::{harmonic_mean, Table};
+use specmt::workloads::Scale;
+use specmt::Bench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let policies: [(&str, Option<HeuristicSet>); 5] = [
+        ("profile", None),
+        ("loop-iter", Some(HeuristicSet::loop_iteration_only())),
+        ("loop-cont", Some(HeuristicSet::loop_continuation_only())),
+        (
+            "sub-cont",
+            Some(HeuristicSet::subroutine_continuation_only()),
+        ),
+        ("combined", Some(HeuristicSet::all())),
+    ];
+
+    let mut table = Table::new(&[
+        "bench",
+        "profile",
+        "loop-iter",
+        "loop-cont",
+        "sub-cont",
+        "combined",
+    ]);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+
+    for bench in Bench::suite(Scale::Medium)? {
+        let mut cells = vec![bench.name().to_string()];
+        for (col, (_, set)) in policies.iter().enumerate() {
+            let spawn_table = match set {
+                None => {
+                    // The paper's best profile configuration: §3.1 selection
+                    // plus the Figure 7b minimum-size enforcement.
+                    bench.profile_table(&ProfileConfig::default()).table
+                }
+                Some(set) => bench.heuristic_table(*set),
+            };
+            let mut cfg = SimConfig::paper(16);
+            if set.is_none() {
+                cfg.min_observed_size = Some(32);
+            }
+            let r = bench.run(cfg, &spawn_table);
+            let sp = bench.speedup(&r);
+            columns[col].push(sp);
+            cells.push(format!("{sp:.2}"));
+        }
+        table.row_owned(cells);
+    }
+    let mut last = vec!["Hmean".to_string()];
+    for col in &columns {
+        last.push(format!("{:.2}", harmonic_mean(col)));
+    }
+    table.row_owned(last);
+
+    println!("Speed-up over single-threaded execution (16 TUs, perfect VP):\n");
+    println!("{}", table.render());
+    println!(
+        "profile vs combined heuristics: {:+.1}%",
+        (harmonic_mean(&columns[0]) / harmonic_mean(&columns[4]) - 1.0) * 100.0
+    );
+    Ok(())
+}

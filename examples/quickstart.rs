@@ -1,0 +1,61 @@
+//! Quickstart: the paper's headline experiment on one benchmark.
+//!
+//! Generates the `ijpeg` workload, mines spawning pairs with the
+//! profile-based scheme (§3.1 of the paper), simulates the Clustered
+//! Speculative Multithreaded Processor with 16 thread units, and reports
+//! the speed-up over single-threaded execution.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use specmt::sim::SimConfig;
+use specmt::spawn::ProfileConfig;
+use specmt::workloads::Scale;
+use specmt::Bench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the workload and record its dynamic trace (the profile).
+    let bench = Bench::load("ijpeg", Scale::Medium)?;
+    println!(
+        "workload: {} ({} static / {} dynamic instructions)",
+        bench.name(),
+        bench.workload().program.len(),
+        bench.trace().len()
+    );
+
+    // 2. Mine spawning pairs: reaching probability >= 0.95, expected
+    //    distance >= 32 instructions, CQIPs ranked by distance.
+    let profile = bench.profile_table(&ProfileConfig::default());
+    println!(
+        "profile selected {} pairs over {} spawning points (CFG coverage {:.1}%)",
+        profile.table.num_pairs(),
+        profile.table.num_spawning_points(),
+        100.0 * profile.coverage
+    );
+    for pair in profile.table.iter() {
+        println!(
+            "  {} -> {}  prob {:.3}  expected distance {:>6.1}  ({:?})",
+            pair.sp, pair.cqip, pair.prob, pair.avg_dist, pair.origin
+        );
+    }
+
+    // 3. Simulate: single-threaded baseline vs 16 speculative thread units
+    //    with perfect value prediction (the Figure 3 setup).
+    let result = bench.run(SimConfig::paper(16), &profile.table);
+    println!(
+        "\nbaseline: {} cycles | speculative: {} cycles",
+        bench.baseline_cycles(),
+        result.cycles
+    );
+    println!(
+        "speed-up {:.2}x with {:.1} threads active on average ({} spawns, {} squashed)",
+        bench.speedup(&result),
+        result.avg_active_threads(),
+        result.threads_spawned,
+        result.threads_squashed
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Scaling study: speed-up vs thread-unit count and value predictor.
+//!
+//! Sweeps the processor from 1 to 16 thread units under perfect, stride and
+//! no value prediction — extending the paper's Figure 12 (which reports 4
+//! and 16 units) into a full scaling curve, rendered as ASCII bar charts.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example scaling_study [workload]
+//! ```
+
+use specmt::predict::ValuePredictorKind;
+use specmt::sim::SimConfig;
+use specmt::spawn::ProfileConfig;
+use specmt::stats::BarChart;
+use specmt::workloads::Scale;
+use specmt::Bench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ijpeg".into());
+    let bench = Bench::load(&name, Scale::Medium)?;
+    let table = bench.profile_table(&ProfileConfig::default()).table;
+
+    println!(
+        "{}: {} dynamic instructions, {} spawning pairs, baseline {} cycles\n",
+        bench.name(),
+        bench.trace().len(),
+        table.num_pairs(),
+        bench.baseline_cycles()
+    );
+
+    for kind in [
+        ValuePredictorKind::Perfect,
+        ValuePredictorKind::Stride,
+        ValuePredictorKind::None,
+    ] {
+        let mut chart = BarChart::new(&format!("speed-up, {kind} value prediction"), 40);
+        for tus in [1usize, 2, 4, 8, 16] {
+            let mut cfg = SimConfig::paper(tus).with_value_predictor(kind);
+            cfg.min_observed_size = Some(32);
+            let r = bench.run(cfg, &table);
+            chart.bar(&format!("{tus:>2} TUs"), bench.speedup(&r));
+        }
+        println!("{}", chart.render());
+    }
+    Ok(())
+}

@@ -1,0 +1,227 @@
+//! Property-based tests: the toolkit's invariants must hold on *arbitrary*
+//! programs, not just the curated workloads.
+//!
+//! A proptest strategy generates random-but-always-terminating programs
+//! (sequences of straight-line blocks and counted loops over random ALU and
+//! memory instructions), then checks:
+//!
+//! * the emulator halts and the dependence graph is causally ordered,
+//! * the block stream tiles the trace and the CFG conserves edge weight,
+//! * reaching probabilities are probabilities,
+//! * and — the big one — the simulator commits exactly the sequential
+//!   trace under *adversarial* spawn tables built from random program
+//!   points, with random policies enabled.
+
+use proptest::prelude::*;
+
+use specmt::analysis::{BasicBlocks, BlockStream, DynCfg, ReachingAnalysis};
+use specmt::isa::{Pc, Program, ProgramBuilder, Reg};
+use specmt::predict::ValuePredictorKind;
+use specmt::sim::{RemovalPolicy, SimConfig, Simulator};
+use specmt::spawn::{PairOrigin, SpawnPair, SpawnTable};
+use specmt::trace::{DepGraph, Trace, NO_PRODUCER};
+
+const DATA: i64 = 0x2_0000;
+
+/// One generated instruction for a loop/block body.
+#[derive(Debug, Clone)]
+enum Op {
+    Alu(u8, u8, u8, u8), // kind, dst, a, b
+    AluImm(u8, u8, u8, i8),
+    Load(u8, u8),  // dst, slot
+    Store(u8, u8), // src, slot
+}
+
+#[derive(Debug, Clone)]
+enum Segment {
+    Block(Vec<Op>),
+    /// Counted loop: `trips` iterations over the body.
+    Loop(u8, Vec<Op>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 1u8..9, 1u8..9, 1u8..9).prop_map(|(k, d, a, b)| Op::Alu(k, d, a, b)),
+        (0u8..6, 1u8..9, 1u8..9, any::<i8>()).prop_map(|(k, d, a, i)| Op::AluImm(k, d, a, i)),
+        (1u8..9, 0u8..32).prop_map(|(d, s)| Op::Load(d, s)),
+        (1u8..9, 0u8..32).prop_map(|(s, slot)| Op::Store(s, slot)),
+    ]
+}
+
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        prop::collection::vec(op_strategy(), 1..12).prop_map(Segment::Block),
+        (2u8..9, prop::collection::vec(op_strategy(), 1..10))
+            .prop_map(|(t, body)| Segment::Loop(t, body)),
+    ]
+}
+
+fn reg(i: u8) -> Reg {
+    Reg::new(i).expect("generated registers are in range")
+}
+
+fn emit_op(b: &mut ProgramBuilder, op: &Op) {
+    use specmt::isa::AluOp;
+    let kinds = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+    ];
+    match op {
+        Op::Alu(k, d, a, x) => {
+            b.alu(kinds[*k as usize], reg(*d), reg(*a), reg(*x));
+        }
+        Op::AluImm(k, d, a, i) => {
+            b.alu_imm(kinds[*k as usize], reg(*d), reg(*a), *i as i64);
+        }
+        Op::Load(d, slot) => {
+            b.ld(reg(*d), Reg::R26, *slot as i64 * 8);
+        }
+        Op::Store(s, slot) => {
+            b.st(reg(*s), Reg::R26, *slot as i64 * 8);
+        }
+    }
+}
+
+/// Lowers the generated segments to a program that always halts.
+fn build_program(segments: &[Segment]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R26, DATA);
+    for (si, seg) in segments.iter().enumerate() {
+        match seg {
+            Segment::Block(ops) => {
+                for op in ops {
+                    emit_op(&mut b, op);
+                }
+            }
+            Segment::Loop(trips, body) => {
+                let top = b.fresh_label(&format!("loop{si}"));
+                b.li(Reg::R27, 0);
+                b.li(Reg::R28, *trips as i64);
+                b.bind(top);
+                for op in body {
+                    emit_op(&mut b, op);
+                }
+                b.addi(Reg::R27, Reg::R27, 1);
+                b.blt(Reg::R27, Reg::R28, top);
+            }
+        }
+    }
+    b.halt();
+    b.build().expect("generated program is structurally valid")
+}
+
+/// Random spawn tables over arbitrary program points — far more hostile
+/// than anything the selectors produce.
+fn table_strategy(len: usize) -> impl Strategy<Value = SpawnTable> {
+    prop::collection::vec((0..len as u32, 0..len as u32, 0.0f64..100.0), 0..8).prop_map(|raw| {
+        SpawnTable::from_pairs(
+            raw.into_iter()
+                .map(|(sp, cqip, score)| SpawnPair {
+                    sp: Pc(sp),
+                    cqip: Pc(cqip),
+                    prob: 1.0,
+                    avg_dist: 40.0,
+                    score,
+                    origin: PairOrigin::Profile,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn emulator_and_dependences_are_causal(segments in prop::collection::vec(segment_strategy(), 1..5)) {
+        let program = build_program(&segments);
+        let trace = Trace::generate(program, 50_000).expect("generated programs halt");
+        prop_assert!(trace.len() >= 2);
+        let deps = DepGraph::build(&trace);
+        for k in 0..trace.len() {
+            for s in 0..2 {
+                let p = deps.reg_producer(k, s);
+                if p != NO_PRODUCER {
+                    prop_assert!((p as usize) < k, "producer after consumer");
+                }
+            }
+            let m = deps.mem_producer(k);
+            if m != NO_PRODUCER {
+                prop_assert!((m as usize) < k);
+                prop_assert!(trace.inst(m as usize).is_store());
+                prop_assert_eq!(trace.record(m as usize).unwrap().addr, trace.record(k).unwrap().addr);
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_invariants_hold(segments in prop::collection::vec(segment_strategy(), 1..5), coverage in 0.5f64..1.0) {
+        let program = build_program(&segments);
+        let trace = Trace::generate(program, 50_000).expect("halts");
+        let bbs = BasicBlocks::of(trace.program());
+        let stream = BlockStream::new(&trace, &bbs);
+        // Events tile the trace.
+        let total: u64 = stream.events().iter().map(|e| e.len as u64).sum();
+        prop_assert_eq!(total, trace.len() as u64);
+        // Pruning conserves (never creates) edge weight.
+        let mut cfg = DynCfg::build(&stream, &bbs);
+        let summary = cfg.prune_to_coverage(coverage);
+        prop_assert!(summary.coverage >= coverage - 1e-9 || summary.pruned == 0);
+        prop_assert!(cfg.check_weight_sanity(1e-6));
+        // Reaching probabilities are probabilities.
+        let reach = ReachingAnalysis::compute(&stream, &cfg.kept_blocks());
+        for &i in reach.tracked() {
+            for &j in reach.tracked() {
+                let p = reach.prob(i, j);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+                prop_assert!(reach.avg_distance(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn simulator_commits_the_trace_under_adversarial_tables(
+        segments in prop::collection::vec(segment_strategy(), 1..5),
+        seed_table in (0usize..1).prop_flat_map(|_| table_strategy(400)),
+        tus in 1usize..9,
+        removal in proptest::bool::ANY,
+        reassign in proptest::bool::ANY,
+        min_size in proptest::option::of(8u32..64),
+        predictor in prop_oneof![
+            Just(ValuePredictorKind::Perfect),
+            Just(ValuePredictorKind::Stride),
+            Just(ValuePredictorKind::None),
+        ],
+    ) {
+        let program = build_program(&segments);
+        let len = program.len();
+        let trace = Trace::generate(program, 50_000).expect("halts");
+        // Clamp generated pcs into the program.
+        let table = SpawnTable::from_pairs(
+            seed_table
+                .iter()
+                .map(|p| SpawnPair {
+                    sp: Pc(p.sp.0 % len as u32),
+                    cqip: Pc(p.cqip.0 % len as u32),
+                    ..*p
+                })
+                .collect(),
+        );
+        let mut cfg = SimConfig::paper(tus).with_value_predictor(predictor);
+        if removal {
+            cfg = cfg.with_removal(RemovalPolicy { alone_cycles: 20, occurrences: 2, reinstate_after: None, max_companions: 0 });
+        }
+        cfg.reassign = reassign;
+        cfg.min_observed_size = min_size;
+        let r = Simulator::with_table(&trace, cfg, &table).run();
+        prop_assert_eq!(r.committed_instructions, trace.len() as u64);
+        prop_assert!(r.cycles > 0);
+        // Sequential semantics imply the cycle count is at least the
+        // depth-bound of the fetch stage.
+        prop_assert!(r.cycles as usize >= trace.len() / (4 * tus.max(1)) / 2);
+    }
+}
