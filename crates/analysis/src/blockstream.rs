@@ -51,27 +51,24 @@ pub struct BlockStream {
 impl BlockStream {
     /// Groups `trace` into block events using the decomposition `bbs`.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if the trace's control flow ever enters a
-    /// block other than at its start (impossible for traces generated from
-    /// the same program the decomposition came from).
+    /// A trace generated from the same program the decomposition came from
+    /// always enters blocks at their start; a record that does not (possible
+    /// only for hand-assembled record streams) opens a fresh event at its
+    /// own pc rather than corrupting a neighbour's length.
     pub fn new(trace: &Trace, bbs: &BasicBlocks) -> BlockStream {
         let mut events: Vec<BlockEvent> = Vec::new();
         for (k, rec) in trace.records().iter().enumerate() {
             let block = bbs.block_of(rec.pc);
-            if bbs.start(block) == rec.pc {
-                events.push(BlockEvent {
-                    block,
-                    len: 1,
-                    first_dyn: k as u32,
-                });
-            } else {
-                let cur = events
-                    .last_mut()
-                    .expect("trace enters blocks at their start");
-                debug_assert_eq!(cur.block, block, "mid-block entry in trace");
-                cur.len += 1;
+            match events.last_mut() {
+                Some(cur) if bbs.start(block) != rec.pc && cur.block == block => cur.len += 1,
+                _ => {
+                    debug_assert_eq!(bbs.start(block), rec.pc, "mid-block entry in trace");
+                    events.push(BlockEvent {
+                        block,
+                        len: 1,
+                        first_dyn: k as u32,
+                    });
+                }
             }
         }
         BlockStream {

@@ -25,8 +25,8 @@ fn hmean_for(h: &Harness, cfg: &SimConfig, profile_cfg: Option<&ProfileConfig>) 
                 None => ctx.profile.table.clone(),
                 Some(pc) => ctx.bench.profile_table(pc).table,
             };
-            let r = ctx.bench.run(cfg.clone(), &table);
-            ctx.bench.speedup(&r)
+            let r = ctx.bench.run(cfg.clone(), &table).expect("simulation");
+            ctx.bench.speedup(&r).expect("baseline simulation")
         })
         .collect();
     harmonic_mean(&speedups)
@@ -117,8 +117,11 @@ fn main() {
         let mut speedups = Vec::new();
         let mut accs = Vec::new();
         for ctx in &h.benches {
-            let r = ctx.bench.run(cfg.clone(), &ctx.profile.table);
-            speedups.push(ctx.bench.speedup(&r));
+            let r = ctx
+                .bench
+                .run(cfg.clone(), &ctx.profile.table)
+                .expect("simulation");
+            speedups.push(ctx.bench.speedup(&r).expect("baseline simulation"));
             accs.push(r.value_hit_ratio());
         }
         t.row_owned(vec![
@@ -160,8 +163,11 @@ fn main() {
         let mut speedups = Vec::new();
         let mut accs = Vec::new();
         for ctx in &h.benches {
-            let r = ctx.bench.run(cfg.clone(), &ctx.profile.table);
-            speedups.push(ctx.bench.speedup(&r));
+            let r = ctx
+                .bench
+                .run(cfg.clone(), &ctx.profile.table)
+                .expect("simulation");
+            speedups.push(ctx.bench.speedup(&r).expect("baseline simulation"));
             accs.push(r.value_hit_ratio());
         }
         t.row_owned(vec![
@@ -177,12 +183,15 @@ fn main() {
 
     // --- Policy shootout incl. MEM-slicing ------------------------------
     let mut t = Table::new(&["bench", "profile", "heuristics", "mem-slice"]);
-    let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut cols = [Vec::new(), Vec::new(), Vec::new()];
     for ctx in &h.benches {
         let mem_table = memslice_pairs(ctx.bench.trace(), &MemSliceConfig::default());
         let sp = |table| {
-            let r = ctx.bench.run(best_profile_config(16), table);
-            ctx.bench.speedup(&r)
+            let r = ctx
+                .bench
+                .run(best_profile_config(16), table)
+                .expect("simulation");
+            ctx.bench.speedup(&r).expect("baseline simulation")
         };
         let vals = [sp(&ctx.profile.table), sp(&ctx.heuristics), sp(&mem_table)];
         for (c, v) in cols.iter_mut().zip(vals) {

@@ -49,8 +49,12 @@ fn main() {
         let ref_pairs = reference.profile_table(&ProfileConfig::default()).table;
 
         let cfg = best_profile_config(16);
-        let with_train = reference.speedup(&reference.run(cfg.clone(), &train_pairs));
-        let with_self = reference.speedup(&reference.run(cfg, &ref_pairs));
+        let r_train = reference
+            .run(cfg.clone(), &train_pairs)
+            .expect("simulation");
+        let r_self = reference.run(cfg, &ref_pairs).expect("simulation");
+        let with_train = reference.speedup(&r_train).expect("baseline simulation");
+        let with_self = reference.speedup(&r_self).expect("baseline simulation");
         cross.push(with_train);
         selfp.push(with_self);
 

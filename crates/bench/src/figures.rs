@@ -135,8 +135,8 @@ pub fn fig5a(h: &Harness) -> Figure {
                     max_companions: 0,
                 });
             }
-            let r = ctx.bench.run(cfg, &ctx.profile.table);
-            let sp = ctx.bench.speedup(&r);
+            let r = ctx.bench.run(cfg, &ctx.profile.table).expect("simulation");
+            let sp = ctx.bench.speedup(&r).expect("baseline simulation");
             series[i].push(sp);
             cells.push(f2(sp));
         }
@@ -175,8 +175,8 @@ pub fn fig5b(h: &Harness) -> Figure {
                 reinstate_after: None,
                 max_companions: 0,
             });
-            let r = ctx.bench.run(cfg, &ctx.profile.table);
-            let sp = ctx.bench.speedup(&r);
+            let r = ctx.bench.run(cfg, &ctx.profile.table).expect("simulation");
+            let sp = ctx.bench.speedup(&r).expect("baseline simulation");
             series[i].push(sp);
             cells.push(f2(sp));
         }
@@ -210,10 +210,10 @@ pub fn fig6(h: &Harness) -> Figure {
         let base_cfg = SimConfig::paper(16).with_removal(standard_removal(ctx.bench.name()));
         let mut re_cfg = base_cfg.clone();
         re_cfg.reassign = true;
-        let r1 = ctx.bench.run(base_cfg, &ctx.profile.table);
-        let r2 = ctx.bench.run(re_cfg, &ctx.profile.table);
-        let s1 = ctx.bench.speedup(&r1);
-        let s2 = ctx.bench.speedup(&r2);
+        let r1 = ctx.bench.run(base_cfg, &ctx.profile.table).expect("simulation");
+        let r2 = ctx.bench.run(re_cfg, &ctx.profile.table).expect("simulation");
+        let s1 = ctx.bench.speedup(&r1).expect("baseline simulation");
+        let s2 = ctx.bench.speedup(&r2).expect("baseline simulation");
         a.push(s1);
         b.push(s2);
         table.row_owned(vec![ctx.bench.name().into(), f2(s1), f2(s2)]);
@@ -241,7 +241,7 @@ pub fn fig7a(h: &Harness) -> Figure {
     let mut medians = Vec::new();
     for ctx in &h.benches {
         let cfg = SimConfig::paper(16).with_removal(standard_removal(ctx.bench.name()));
-        let r = ctx.bench.run(cfg, &ctx.profile.table);
+        let r = ctx.bench.run(cfg, &ctx.profile.table).expect("simulation");
         let s = r.avg_thread_size();
         let m = r.median_thread_size();
         sizes.push(s);
@@ -277,12 +277,10 @@ pub fn fig7b(h: &Harness) -> Figure {
     for ctx in &h.benches {
         let base_cfg = SimConfig::paper(16);
         let min_cfg = crate::with_min_size(base_cfg.clone());
-        let s1 = ctx
-            .bench
-            .speedup(&ctx.bench.run(base_cfg, &ctx.profile.table));
-        let s2 = ctx
-            .bench
-            .speedup(&ctx.bench.run(min_cfg, &ctx.profile.table));
+        let base = ctx.bench.run(base_cfg, &ctx.profile.table).expect("simulation");
+        let min = ctx.bench.run(min_cfg, &ctx.profile.table).expect("simulation");
+        let s1 = ctx.bench.speedup(&base).expect("baseline simulation");
+        let s2 = ctx.bench.speedup(&min).expect("baseline simulation");
         a.push(s1);
         b.push(s2);
         table.row_owned(vec![ctx.bench.name().into(), f2(s1), f2(s2)]);
@@ -357,7 +355,7 @@ pub fn fig9a(h: &Harness) -> Figure {
                         &ctx.heuristics,
                     )
                 };
-                let r = ctx.bench.run(cfg, t);
+                let r = ctx.bench.run(cfg, t).expect("simulation");
                 vals.push(r.value_hit_ratio());
             }
         }
@@ -393,7 +391,8 @@ pub fn fig9a(h: &Harness) -> Figure {
 /// Figure 9b: speed-ups with perfect vs stride value prediction, both
 /// policies.
 pub fn fig9b(h: &Harness) -> Figure {
-    let runs: Vec<(&str, Vec<(&'static str, f64, specmt::sim::SimResult)>)> = vec![
+    type Runs = Vec<(&'static str, f64, specmt::sim::SimResult)>;
+    let runs: Vec<(&str, Runs)> = vec![
         (
             "perfect+profile",
             h.run_with(&best_profile_config(16), |c| &c.profile.table),
@@ -492,7 +491,7 @@ pub fn fig10a(h: &Harness) -> Figure {
         for tables in [&indep, &pred] {
             for kind in kinds {
                 let cfg = best_profile_config(16).with_value_predictor(kind);
-                let r = ctx.bench.run(cfg, &tables[i]);
+                let r = ctx.bench.run(cfg, &tables[i]).expect("simulation");
                 let v = r.value_hit_ratio();
                 sums[col].push(v);
                 cells.push(pct(v));
@@ -527,11 +526,12 @@ pub fn fig10b(h: &Harness) -> Figure {
     let mut table = Table::new(&["bench", "max-distance", "independent", "predictable"]);
     let mut sums = vec![Vec::new(); 3];
     for (i, ctx) in h.benches.iter().enumerate() {
-        let s0 = ctx
-            .bench
-            .speedup(&ctx.bench.run(cfg.clone(), &ctx.profile.table));
-        let s1 = ctx.bench.speedup(&ctx.bench.run(cfg.clone(), &indep[i]));
-        let s2 = ctx.bench.speedup(&ctx.bench.run(cfg.clone(), &pred[i]));
+        let r0 = ctx.bench.run(cfg.clone(), &ctx.profile.table).expect("simulation");
+        let r1 = ctx.bench.run(cfg.clone(), &indep[i]).expect("simulation");
+        let r2 = ctx.bench.run(cfg.clone(), &pred[i]).expect("simulation");
+        let s0 = ctx.bench.speedup(&r0).expect("baseline simulation");
+        let s1 = ctx.bench.speedup(&r1).expect("baseline simulation");
+        let s2 = ctx.bench.speedup(&r2).expect("baseline simulation");
         for (v, s) in sums.iter_mut().zip([s0, s1, s2]) {
             v.push(s);
         }
@@ -569,8 +569,12 @@ pub fn fig11(h: &Harness) -> Figure {
     let mut sums = vec![Vec::new(); 4];
     for ctx in &h.benches {
         let slow = |cfg: SimConfig, t: &specmt::spawn::SpawnTable| {
-            let c0 = ctx.bench.run(cfg.clone(), t).cycles as f64;
-            let c8 = ctx.bench.run(cfg.with_init_overhead(8), t).cycles as f64;
+            let c0 = ctx.bench.run(cfg.clone(), t).expect("simulation").cycles as f64;
+            let c8 = ctx
+                .bench
+                .run(cfg.with_init_overhead(8), t)
+                .expect("simulation")
+                .cycles as f64;
             1.0 - c0 / c8
         };
         let vals = [

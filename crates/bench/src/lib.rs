@@ -88,13 +88,14 @@ impl Harness {
     pub fn load_at(scale: Scale) -> Harness {
         let names = specmt::workloads::SUITE_NAMES;
         let mut slots: Vec<Option<BenchCtx>> = (0..names.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (slot, name) in slots.iter_mut().zip(names) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let bench = Bench::load(name, scale).expect("workload traces");
                     let profile = bench.profile_table(&ProfileConfig::default());
                     let heuristics = bench.heuristic_table(HeuristicSet::all());
-                    bench.baseline_cycles(); // warm the cache in parallel too
+                    // Warm the baseline cache in parallel too.
+                    bench.baseline_cycles().expect("baseline simulation");
                     *slot = Some(BenchCtx {
                         bench,
                         profile,
@@ -102,8 +103,7 @@ impl Harness {
                     });
                 });
             }
-        })
-        .expect("harness build threads");
+        });
         Harness {
             benches: slots.into_iter().map(|s| s.expect("slot filled")).collect(),
             scale,
@@ -129,18 +129,17 @@ impl Harness {
     ) -> Vec<(&'static str, f64, SimResult)> {
         let mut out: Vec<Option<(&'static str, f64, SimResult)>> =
             (0..self.benches.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (slot, ctx) in out.iter_mut().zip(&self.benches) {
                 let cfg = config.clone();
                 let t = table(ctx);
-                s.spawn(move |_| {
-                    let r = ctx.bench.run(cfg, t);
-                    let sp = ctx.bench.speedup(&r);
+                s.spawn(move || {
+                    let r = ctx.bench.run(cfg, t).expect("simulation");
+                    let sp = ctx.bench.speedup(&r).expect("baseline simulation");
                     *slot = Some((ctx.bench.name(), sp, r));
                 });
             }
-        })
-        .expect("run threads");
+        });
         out.into_iter().map(|s| s.expect("slot filled")).collect()
     }
 }

@@ -7,6 +7,7 @@
 //! specmt pairs   <workload|trace.smtr|file.s> [--policy profile|heuristics|memslice]
 //! specmt simulate <workload|trace.smtr|file.s> [--policy P] [--tus N]
 //!                 [--vp perfect|stride|fcm|hybrid|last|none] [--overhead N] [--min-size N]
+//!                 [--faults seed=N,squash=R,drop=R,corrupt=R,jitter=N,remove=R]
 //! specmt run     <file.s>
 //! ```
 //!
@@ -16,7 +17,7 @@
 use std::process::ExitCode;
 
 use specmt::predict::ValuePredictorKind;
-use specmt::sim::{SimConfig, Simulator};
+use specmt::sim::{FaultPlan, SimConfig, Simulator};
 use specmt::spawn::{
     heuristic_pairs, memslice_pairs, profile_pairs, HeuristicSet, MemSliceConfig, ProfileConfig,
     SpawnTable,
@@ -67,6 +68,25 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Rejects any flag a command does not understand, so a typo'd flag
+    /// errors out instead of silently doing nothing.
+    fn check_flags(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for (name, _) in &self.flags {
+            if !allowed.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown flag --{name} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+                .into());
+            }
+        }
+        Ok(())
+    }
+
     fn scale(&self) -> Result<Scale, CliError> {
         Ok(match self.flag("scale").unwrap_or("medium") {
             "tiny" => Scale::Tiny,
@@ -113,6 +133,16 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
     let input = args.positional.get(1).map(String::as_str);
     let scale = args.scale()?;
 
+    args.check_flags(match command {
+        "list" | "disasm" | "run" => &["scale"][..],
+        "trace" => &["scale", "out"],
+        "pairs" => &["scale", "policy"],
+        "simulate" => &[
+            "scale", "policy", "tus", "vp", "overhead", "min-size", "faults",
+        ],
+        _ => &[],
+    })?;
+
     match command {
         "list" => {
             println!(
@@ -120,7 +150,8 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
                 "workload", "static", "dynamic", "pairs"
             );
             for name in SUITE_NAMES {
-                let w = specmt::workloads::by_name(name, scale).expect("suite");
+                let w = specmt::workloads::by_name(name, scale)
+                    .ok_or_else(|| format!("suite workload `{name}` missing at scale {scale:?}"))?;
                 let trace = Trace::generate(w.program.clone(), w.step_budget)?;
                 let pairs = profile_pairs(&trace, &ProfileConfig::default());
                 println!(
@@ -193,8 +224,11 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
             if let Some(m) = args.flag("min-size") {
                 cfg.min_observed_size = Some(m.parse()?);
             }
-            let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run();
-            let r = Simulator::with_table(&trace, cfg, &table).run();
+            if let Some(spec) = args.flag("faults") {
+                cfg = cfg.with_faults(FaultPlan::parse(spec)?);
+            }
+            let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run()?;
+            let r = Simulator::with_table(&trace, cfg.clone(), &table).run()?;
             println!("instructions    {:>12}", r.committed_instructions);
             println!("baseline cycles {:>12}", baseline.cycles);
             println!("cycles          {:>12}", r.cycles);
@@ -215,6 +249,14 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
             }
             println!("branch accuracy {:>11.1}%", 100.0 * r.branch_hit_ratio());
             println!("violations      {:>12}", r.violations);
+            if cfg.faults.is_some_and(|p| p.is_active()) {
+                println!("-- injected faults --");
+                println!("dropped spawns  {:>12}", r.fault_dropped_spawns);
+                println!("forced squashes {:>12}", r.fault_forced_squashes);
+                println!("corrupted vals  {:>12}", r.fault_corrupted_values);
+                println!("jitter cycles   {:>12}", r.fault_jitter_cycles);
+                println!("forced removals {:>12}", r.fault_forced_removals);
+            }
         }
         "run" => {
             let input = input.ok_or("run needs a .s file")?;
@@ -237,6 +279,6 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy profile|heuristics|memslice]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N]\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file"
+        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy profile|heuristics|memslice]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N] [--faults seed=N,squash=R,...]\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file"
     );
 }

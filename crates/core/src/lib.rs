@@ -34,8 +34,8 @@
 //!
 //! let bench = Bench::load("ijpeg", Scale::Small)?;
 //! let profile = bench.profile_table(&ProfileConfig::default());
-//! let result = bench.run(SimConfig::paper(16), &profile.table);
-//! let speedup = bench.speedup(&result);
+//! let result = bench.run(SimConfig::paper(16), &profile.table)?;
+//! let speedup = bench.speedup(&result)?;
 //! assert!(speedup > 1.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -54,7 +54,7 @@ pub use specmt_workloads as workloads;
 
 use std::sync::OnceLock;
 
-use specmt_sim::{SimConfig, SimResult, Simulator};
+use specmt_sim::{SimConfig, SimError, SimResult, Simulator};
 use specmt_spawn::{
     heuristic_pairs, profile_pairs, HeuristicSet, ProfileConfig, ProfileResult, SpawnTable,
 };
@@ -139,12 +139,20 @@ impl Bench {
     }
 
     /// Cycles of the single-threaded baseline (computed once, cached).
-    pub fn baseline_cycles(&self) -> u64 {
-        *self.baseline.get_or_init(|| {
-            Simulator::new(&self.trace, SimConfig::single_threaded())
-                .run()
-                .cycles
-        })
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Sim`] if the baseline simulation fails (it
+    /// cannot, for suite workloads, unless the model itself is broken).
+    pub fn baseline_cycles(&self) -> Result<u64, BenchError> {
+        if let Some(&cycles) = self.baseline.get() {
+            return Ok(cycles);
+        }
+        let cycles = Simulator::new(&self.trace, SimConfig::single_threaded())
+            .run()
+            .map_err(BenchError::Sim)?
+            .cycles;
+        Ok(*self.baseline.get_or_init(|| cycles))
     }
 
     /// Runs the profile-based selector (§3.1) on this benchmark's trace.
@@ -158,13 +166,24 @@ impl Bench {
     }
 
     /// Simulates this benchmark under `config` with the given spawn table.
-    pub fn run(&self, config: SimConfig, table: &SpawnTable) -> SimResult {
-        Simulator::with_table(&self.trace, config, table).run()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Sim`] for an invalid configuration or a failed
+    /// post-run invariant audit (see [`SimError`]).
+    pub fn run(&self, config: SimConfig, table: &SpawnTable) -> Result<SimResult, BenchError> {
+        Simulator::with_table(&self.trace, config, table)
+            .run()
+            .map_err(BenchError::Sim)
     }
 
     /// Speed-up of `result` over the single-threaded baseline.
-    pub fn speedup(&self, result: &SimResult) -> f64 {
-        self.baseline_cycles() as f64 / result.cycles as f64
+    ///
+    /// # Errors
+    ///
+    /// As [`Bench::baseline_cycles`].
+    pub fn speedup(&self, result: &SimResult) -> Result<f64, BenchError> {
+        Ok(self.baseline_cycles()? as f64 / result.cycles as f64)
     }
 }
 
@@ -179,6 +198,8 @@ pub enum BenchError {
     },
     /// Trace generation failed.
     Trace(TraceError),
+    /// Simulation failed (invalid configuration or a broken invariant).
+    Sim(SimError),
 }
 
 impl std::fmt::Display for BenchError {
@@ -191,6 +212,7 @@ impl std::fmt::Display for BenchError {
                 )
             }
             BenchError::Trace(e) => write!(f, "trace generation failed: {e}"),
+            BenchError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
@@ -199,6 +221,7 @@ impl std::error::Error for BenchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BenchError::Trace(e) => Some(e),
+            BenchError::Sim(e) => Some(e),
             BenchError::UnknownWorkload { .. } => None,
         }
     }
@@ -218,13 +241,13 @@ mod tests {
     fn bench_round_trip() {
         let b = Bench::load("compress", Scale::Tiny).unwrap();
         assert_eq!(b.name(), "compress");
-        let base = b.baseline_cycles();
+        let base = b.baseline_cycles().unwrap();
         assert!(base > 0);
         // Baseline is cached and stable.
-        assert_eq!(b.baseline_cycles(), base);
+        assert_eq!(b.baseline_cycles().unwrap(), base);
         let heur = b.heuristic_table(HeuristicSet::all());
-        let r = b.run(SimConfig::paper(4), &heur);
-        assert!(b.speedup(&r) >= 1.0);
+        let r = b.run(SimConfig::paper(4), &heur).unwrap();
+        assert!(b.speedup(&r).unwrap() >= 1.0);
     }
 
     #[test]

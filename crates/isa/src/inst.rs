@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Pc, Reg};
 
 /// Binary ALU operation kinds.
@@ -12,7 +10,7 @@ use crate::{Pc, Reg};
 /// floating-point functional units of the simulated processor (see
 /// [`FuClass`]); they operate on the same 64-bit register file, treating
 /// values as opaque bit patterns with integer semantics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum AluOp {
     Add,
@@ -74,13 +72,7 @@ impl AluOp {
             AluOp::Add | AluOp::FAdd => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Mul | AluOp::FMul => a.wrapping_mul(b),
-            AluOp::Div | AluOp::FDiv => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Div | AluOp::FDiv => a.checked_div(b).unwrap_or(0),
             AluOp::And => a & b,
             AluOp::Or => a | b,
             AluOp::Xor => a ^ b,
@@ -115,7 +107,7 @@ impl fmt::Display for AluOp {
 }
 
 /// Condition codes for conditional branches (signed comparisons).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BranchCond {
     Eq,
@@ -181,7 +173,7 @@ impl fmt::Display for BranchCond {
 /// address calculation plus cache access), 1 integer multiplier (4 cycles),
 /// 2 simple FP units (4 cycles), 1 FP multiplier (6 cycles) and 1 FP divider
 /// (17 cycles).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum FuClass {
     SimpleInt,
@@ -269,7 +261,7 @@ impl FuClass {
 /// assert!(b.is_cond_branch());
 /// assert_eq!(b.control_target(), Some(Pc(7)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// Register-register ALU operation: `dst = op(a, b)`.
     Alu {
@@ -473,6 +465,55 @@ impl fmt::Display for Inst {
         }
     }
 }
+
+serde::impl_serde_enum!(AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Slt,
+    Sltu,
+    FAdd,
+    FMul,
+    FDiv,
+});
+
+serde::impl_serde_enum!(BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Le,
+    Gt,
+});
+
+serde::impl_serde_enum!(FuClass {
+    SimpleInt,
+    LoadStore,
+    IntMul,
+    FpSimple,
+    FpMul,
+    FpDiv,
+});
+
+serde::impl_serde_enum!(Inst {
+    Alu { op, dst, a, b },
+    AluImm { op, dst, a, imm },
+    Li { dst, imm },
+    Load { dst, base, offset },
+    Store { src, base, offset },
+    Branch { cond, a, b, target },
+    Jump { target },
+    Call { target },
+    Ret,
+    Halt,
+    Nop,
+});
 
 #[cfg(test)]
 mod tests {

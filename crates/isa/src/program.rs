@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Inst, IsaError};
 
 /// A program counter: an index into a program's instruction memory.
@@ -19,10 +17,10 @@ use crate::{Inst, IsaError};
 /// assert_eq!(pc.next(), Pc(5));
 /// assert_eq!(pc.to_string(), "@4");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pc(pub u32);
+
+serde::impl_serde_newtype!(Pc(u32));
 
 impl Pc {
     /// The address of the sequentially-following instruction.
@@ -53,7 +51,7 @@ impl fmt::Display for Pc {
 /// Functions are metadata only — control flow is free to ignore them — but
 /// workloads record them so analyses and reports can attribute code to
 /// subroutines.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
     /// Symbolic name.
     pub name: String,
@@ -62,6 +60,8 @@ pub struct Function {
     /// One past the last instruction of the function.
     pub end: Pc,
 }
+
+serde::impl_serde_struct!(Function { name, entry, end });
 
 impl Function {
     /// Whether `pc` lies within this function's range.
@@ -96,7 +96,7 @@ impl Function {
 /// assert_eq!(program.inst(Pc(1)), Some(&Inst::Halt));
 /// # Ok::<(), specmt_isa::IsaError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     insts: Vec<Inst>,
     entry: Pc,
@@ -244,6 +244,38 @@ impl Program {
             let _ = writeln!(out, "  @{idx:<6} {inst}");
         }
         out
+    }
+}
+
+impl serde::Serialize for Program {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("insts".to_string(), serde::Serialize::to_value(&self.insts)),
+            ("entry".to_string(), serde::Serialize::to_value(&self.entry)),
+            (
+                "functions".to_string(),
+                serde::Serialize::to_value(&self.functions),
+            ),
+            (
+                "memory_image".to_string(),
+                serde::Serialize::to_value(&self.memory_image),
+            ),
+        ])
+    }
+}
+
+// Deserialization funnels through `with_parts` so a corrupted or hostile
+// program header can never produce a `Program` that violates the validation
+// invariants (entry/targets/functions in range, halt present).
+impl serde::Deserialize for Program {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Program::with_parts(
+            serde::field(v, "insts")?,
+            serde::field(v, "entry")?,
+            serde::field(v, "functions")?,
+            serde::field(v, "memory_image")?,
+        )
+        .map_err(serde::Error::custom)
     }
 }
 

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One of the 32 architectural 64-bit registers.
 ///
 /// Conventions mirror classic MIPS/Alpha usage:
@@ -24,8 +22,24 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(r.to_string(), "r5");
 /// assert!(Reg::ZERO.is_zero());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
+
+impl serde::Serialize for Reg {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::UInt(u64::from(self.0))
+    }
+}
+
+// Deserialization funnels through `Reg::new` so out-of-range indices in
+// corrupted input are rejected instead of materializing an invalid register.
+impl serde::Deserialize for Reg {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let idx = <u8 as serde::Deserialize>::from_value(v)?;
+        Reg::new(idx)
+            .ok_or_else(|| serde::Error::custom(format!("register index {idx} out of range")))
+    }
+}
 
 macro_rules! named_regs {
     ($($name:ident = $idx:expr, $doc:expr;)*) => {

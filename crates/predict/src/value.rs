@@ -483,7 +483,7 @@ mod tests {
     fn hybrid_tracks_the_better_component() {
         // Arithmetic stream: stride wins; repeating stream: FCM wins. The
         // hybrid must approach the better component on each.
-        let mut run = |values: &[u64], rounds: usize| -> (u64, u64, u64) {
+        let run = |values: &[u64], rounds: usize| -> (u64, u64, u64) {
             let mut s = StridePredictor::with_budget(16 * 1024);
             let mut f = FcmPredictor::with_budget(16 * 1024);
             let mut h = HybridPredictor::with_budget(16 * 1024);

@@ -35,10 +35,31 @@ pub struct L1Cache {
     misses: u64,
 }
 
+/// Index of the smallest element (first wins ties); 0 for an empty slice.
+pub(crate) fn min_index(times: &[u64]) -> usize {
+    let mut best = 0;
+    for i in 1..times.len() {
+        if times[i] < times[best] {
+            best = i;
+        }
+    }
+    best
+}
+
 impl L1Cache {
     /// Creates an empty (all-invalid) cache.
+    ///
+    /// Degenerate geometries (zero ways, blocks or MSHRs) are clamped to one
+    /// so the timing model stays total; [`SimConfig::validate`] rejects them
+    /// up front for simulation runs.
+    ///
+    /// [`SimConfig::validate`]: crate::SimConfig::validate
     pub fn new(cfg: CacheConfig) -> L1Cache {
-        let sets = cfg.size_bytes / (cfg.ways * cfg.block_bytes);
+        let mut cfg = cfg;
+        cfg.ways = cfg.ways.max(1);
+        cfg.block_bytes = cfg.block_bytes.max(1);
+        cfg.mshrs = cfg.mshrs.max(1);
+        let sets = (cfg.size_bytes / (cfg.ways * cfg.block_bytes)).max(1);
         L1Cache {
             sets,
             tags: vec![u64::MAX; sets * cfg.ways],
@@ -67,18 +88,11 @@ impl L1Cache {
         }
         // Miss: allocate the LRU way and an MSHR.
         self.misses += 1;
-        let lru = (0..self.cfg.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("at least one way");
+        let lru = min_index(&self.stamps[base..base + self.cfg.ways]);
         self.tags[base + lru] = block;
         self.stamps[base + lru] = self.stamp;
-        let (slot, free) = self
-            .mshr_free
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by_key(|&(_, t)| t)
-            .expect("at least one mshr");
+        let slot = min_index(&self.mshr_free);
+        let free = self.mshr_free[slot];
         let start = at.max(free);
         let done = start + self.cfg.miss_latency;
         self.mshr_free[slot] = done;
@@ -98,9 +112,7 @@ impl L1Cache {
                 return;
             }
         }
-        let lru = (0..self.cfg.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("at least one way");
+        let lru = min_index(&self.stamps[base..base + self.cfg.ways]);
         self.tags[base + lru] = block;
         self.stamps[base + lru] = self.stamp;
     }

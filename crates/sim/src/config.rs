@@ -2,6 +2,8 @@
 
 use specmt_predict::ValuePredictorKind;
 
+use crate::{FaultPlan, SimError};
+
 /// First-level data cache parameters (per thread unit).
 ///
 /// Defaults are the paper's: 32 KB, 2-way, 32-byte blocks, 3-cycle hits,
@@ -126,6 +128,9 @@ pub struct SimConfig {
     /// Remove pairs whose committed threads are smaller than this
     /// (Figure 7b enforces 32).
     pub min_observed_size: Option<u32>,
+    /// Deterministic fault injection for chaos testing (`None` = a faultless
+    /// machine, the default).
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -150,6 +155,7 @@ impl SimConfig {
             removal: None,
             reassign: false,
             min_observed_size: None,
+            faults: None,
         }
     }
 
@@ -176,25 +182,53 @@ impl SimConfig {
         self
     }
 
+    /// Returns the configuration with a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> SimConfig {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Validates internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any width or size is zero.
-    pub fn validate(&self) {
-        assert!(self.thread_units >= 1, "need at least one thread unit");
-        assert!(self.fetch_width >= 1, "fetch width must be positive");
-        assert!(self.issue_width >= 1, "issue width must be positive");
-        assert!(self.rob_entries >= 1, "rob must hold at least one entry");
-        assert!(
-            self.phys_regs > specmt_isa::NUM_REGS,
-            "need rename registers beyond the architectural file"
-        );
-        assert!(self.cache.ways >= 1 && self.cache.block_bytes >= 8);
-        assert!(
-            self.cache.size_bytes >= self.cache.ways * self.cache.block_bytes,
-            "cache must hold at least one set"
-        );
+    /// Returns [`SimError::InvalidConfig`] if any width or size is zero (or
+    /// the rename pool cannot cover the architectural file), and
+    /// [`SimError::InvalidFaultPlan`] for an out-of-range fault rate.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = SimError::invalid_config;
+        if self.thread_units < 1 {
+            return Err(bad("need at least one thread unit"));
+        }
+        if self.fetch_width < 1 {
+            return Err(bad("fetch width must be positive"));
+        }
+        if self.issue_width < 1 {
+            return Err(bad("issue width must be positive"));
+        }
+        if self.rob_entries < 1 {
+            return Err(bad("rob must hold at least one entry"));
+        }
+        if self.phys_regs <= specmt_isa::NUM_REGS {
+            return Err(SimError::invalid_config(format!(
+                "{} physical registers cannot rename beyond the {} architectural ones",
+                self.phys_regs,
+                specmt_isa::NUM_REGS
+            )));
+        }
+        if self.cache.ways < 1 || self.cache.block_bytes < 8 {
+            return Err(bad("cache needs >= 1 way and >= 8-byte blocks"));
+        }
+        if self.cache.size_bytes < self.cache.ways * self.cache.block_bytes {
+            return Err(bad("cache must hold at least one set"));
+        }
+        if self.cache.mshrs < 1 {
+            return Err(bad("cache needs at least one MSHR"));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -219,7 +253,7 @@ mod tests {
         assert_eq!(c.cache.mshrs, 4);
         assert_eq!(c.forward_latency, 3);
         assert_eq!(c.predictor_budget, 16 * 1024);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -234,10 +268,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "thread unit")]
     fn zero_units_invalid() {
         let mut c = SimConfig::paper(4);
         c.thread_units = 0;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("thread unit"), "{err}");
+    }
+
+    #[test]
+    fn bad_fault_plan_fails_validation() {
+        let mut c = SimConfig::paper(4);
+        c.faults = Some(crate::FaultPlan {
+            squash_rate: 3.0,
+            ..crate::FaultPlan::default()
+        });
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::InvalidFaultPlan { .. })
+        ));
     }
 }

@@ -27,12 +27,14 @@
 
 use std::collections::HashMap;
 
-use specmt_isa::FuClass;
+use specmt_isa::{FuClass, Pc};
 use specmt_predict::{Gshare, PredKey, ValuePredictor, ValuePredictorKind};
 use specmt_spawn::SpawnTable;
 use specmt_trace::{DepGraph, Trace, NO_PRODUCER};
 
-use crate::{L1Cache, SimConfig, SimResult};
+use crate::cache::min_index;
+use crate::faults::FaultInjector;
+use crate::{L1Cache, SimConfig, SimError, SimResult};
 
 /// Per-thread-unit persistent hardware state.
 #[derive(Debug)]
@@ -77,6 +79,9 @@ struct DoomedChild {
 struct PendingThread {
     /// First dynamic instruction of the window.
     start: usize,
+    /// Static pc of that first instruction (cached so spawn conflict checks
+    /// need no trace lookup).
+    start_pc: u32,
     /// Cycle the spawn fired.
     spawn_time: u64,
     /// Cycle the thread may fetch its first instruction
@@ -129,7 +134,6 @@ impl<'a> Simulator<'a> {
     /// A simulator driven by the given spawn table (cloned: tables are
     /// small relative to traces).
     pub fn with_table(trace: &'a Trace, config: SimConfig, table: &SpawnTable) -> Simulator<'a> {
-        config.validate();
         Simulator {
             trace,
             deps: DepGraph::build(trace),
@@ -140,11 +144,22 @@ impl<'a> Simulator<'a> {
 
     /// Runs the simulation to completion and returns aggregate statistics.
     ///
-    /// # Panics
+    /// The configuration (including any fault plan) is validated first, and
+    /// the engine audits its hard invariants after the last commit: the
+    /// committed windows must partition the trace exactly, every thread unit
+    /// must be free, and the thread statistics must balance. Fault injection
+    /// perturbs timing and policy only, so the audit holds under any valid
+    /// [`FaultPlan`](crate::FaultPlan).
     ///
-    /// Panics (debug assertions) if committed thread windows fail to
-    /// partition the trace — the model's core correctness invariant.
-    pub fn run(self) -> SimResult {
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] / [`SimError::InvalidFaultPlan`]
+    /// without simulating, or an audit variant ([`SimError::TracePartition`],
+    /// [`SimError::CommitMismatch`], [`SimError::ThreadUnitLeak`],
+    /// [`SimError::StatsConservation`], [`SimError::BrokenInvariant`]) if the
+    /// model's correctness invariants do not survive the run.
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.config.validate()?;
         Engine::new(self).run()
     }
 }
@@ -172,6 +187,7 @@ struct Engine<'a> {
     /// Active speculative threads in program order (excluding the one being
     /// processed).
     chain: Vec<PendingThread>,
+    faults: Option<FaultInjector>,
     result: SimResult,
 }
 
@@ -200,6 +216,10 @@ impl<'a> Engine<'a> {
         let tus = (0..cfg.thread_units)
             .map(|_| ThreadUnit::new(&cfg))
             .collect();
+        let faults = cfg
+            .faults
+            .filter(|p| p.is_active())
+            .map(FaultInjector::new);
         Engine {
             trace,
             deps,
@@ -212,18 +232,20 @@ impl<'a> Engine<'a> {
             is_sp,
             pair_rt: HashMap::new(),
             chain: Vec::new(),
+            faults,
             result: SimResult::default(),
         }
     }
 
-    fn run(mut self) -> SimResult {
+    fn run(mut self) -> Result<SimResult, SimError> {
         let n = self.trace.len();
         if n == 0 {
-            return self.result;
+            return Ok(self.result);
         }
         self.tus[0].busy = true;
         let mut next = Some(PendingThread {
             start: 0,
+            start_pc: self.trace.records().first().map_or(0, |r| r.pc.0),
             spawn_time: 0,
             init_done: 0,
             tu: 0,
@@ -233,8 +255,13 @@ impl<'a> Engine<'a> {
         let mut processed_end = 0usize;
 
         while let Some(t) = next.take() {
-            debug_assert_eq!(t.start, processed_end, "windows must partition the trace");
-            let (end, exec_done, doomed) = self.process_window(&t);
+            if t.start != processed_end {
+                return Err(SimError::broken(format!(
+                    "window starts at {} but the previous window ended at {processed_end}",
+                    t.start
+                )));
+            }
+            let (end, exec_done, doomed) = self.process_window(&t)?;
             processed_end = end;
             let pred_commit = prev_commit;
             let commit_time = exec_done.max(prev_commit);
@@ -267,21 +294,71 @@ impl<'a> Engine<'a> {
             }
         }
 
-        debug_assert_eq!(
-            self.result.committed_instructions, n as u64,
-            "committed instructions must equal the trace length"
-        );
+        self.audit(n, processed_end)?;
         for tu in &self.tus {
             let (h, m) = tu.cache.stats();
             self.result.cache_hits += h;
             self.result.cache_misses += m;
         }
-        self.result
+        Ok(self.result)
+    }
+
+    /// The post-run invariant audit: committed windows partition the trace,
+    /// the committed stream equals the sequential trace, no thread unit
+    /// leaks, and the thread statistics balance.
+    fn audit(&self, n: usize, processed_end: usize) -> Result<(), SimError> {
+        if processed_end != n {
+            return Err(SimError::TracePartition {
+                expected: n,
+                processed: processed_end,
+            });
+        }
+        if self.result.committed_instructions != n as u64 {
+            return Err(SimError::CommitMismatch {
+                expected: n as u64,
+                committed: self.result.committed_instructions,
+            });
+        }
+        if self.result.thread_size_sum != self.result.committed_instructions {
+            return Err(SimError::StatsConservation {
+                reason: format!(
+                    "thread sizes sum to {} but {} instructions committed",
+                    self.result.thread_size_sum, self.result.committed_instructions
+                ),
+            });
+        }
+        if let Some(unit) = self.tus.iter().position(|tu| tu.busy) {
+            return Err(SimError::ThreadUnitLeak { unit });
+        }
+        // Every successful spawn either committed or squashed; the root
+        // thread committed without a spawn.
+        let accounted = self.result.threads_committed + self.result.threads_squashed;
+        if accounted != self.result.threads_spawned + 1 {
+            return Err(SimError::StatsConservation {
+                reason: format!(
+                    "{} spawned but {} committed + {} squashed",
+                    self.result.threads_spawned,
+                    self.result.threads_committed,
+                    self.result.threads_squashed
+                ),
+            });
+        }
+        if self.result.value_hits > self.result.value_predictions
+            || self.result.branch_hits > self.result.branch_predictions
+        {
+            return Err(SimError::StatsConservation {
+                reason: "predictor hits exceed predictions".to_owned(),
+            });
+        }
+        Ok(())
     }
 
     /// Processes one thread's window; returns `(end, exec_done, doomed
     /// children)`.
-    fn process_window(&mut self, t: &PendingThread) -> (usize, u64, Vec<DoomedChild>) {
+    fn process_window(
+        &mut self,
+        t: &PendingThread,
+    ) -> Result<(usize, u64, Vec<DoomedChild>), SimError> {
         let n = self.trace.len();
         let rob = self.cfg.rob_entries;
         let mut rob_ring = vec![0u64; rob];
@@ -308,7 +385,11 @@ impl<'a> Engine<'a> {
                 break;
             }
 
-            let rec = *self.trace.record(k).expect("index in range");
+            let Some(&rec) = self.trace.record(k) else {
+                return Err(SimError::broken(format!(
+                    "dynamic index {k} escaped a trace of length {n}"
+                )));
+            };
             let inst = *self.trace.inst(k);
 
             // --- Fetch ---------------------------------------------------
@@ -336,7 +417,7 @@ impl<'a> Engine<'a> {
 
             // --- Spawn ---------------------------------------------------
             if self.is_sp[rec.pc.index()] && self.cfg.thread_units > 1 {
-                if let Some(d) = self.try_spawn(k, f, &doomed) {
+                if let Some(d) = self.try_spawn(k, rec.pc, f, &doomed) {
                     doomed.push(d);
                 }
             }
@@ -363,16 +444,12 @@ impl<'a> Engine<'a> {
 
             // --- Issue: a port, then a functional unit -------------------
             let tu = &mut self.tus[t.tu];
-            let port = (0..tu.ports.len())
-                .min_by_key(|&i| tu.ports[i])
-                .expect("ports exist");
+            let port = min_index(&tu.ports);
             let t1 = ready.max(tu.ports[port]);
             tu.ports[port] = t1 + 1;
             let class = inst.fu_class();
             let units = &mut tu.fu_free[class.index()];
-            let unit = (0..units.len())
-                .min_by_key(|&i| units[i])
-                .expect("units exist");
+            let unit = min_index(units);
             let t2 = t1.max(units[unit]);
             units[unit] = t2
                 + if class.pipelined() {
@@ -385,6 +462,13 @@ impl<'a> Engine<'a> {
             // --- Memory --------------------------------------------------
             if inst.is_load() {
                 let mut data = tu.cache.access(rec.addr, done);
+                if let Some(fi) = self.faults.as_mut() {
+                    let jitter = fi.jitter();
+                    if jitter > 0 {
+                        self.result.fault_jitter_cycles += jitter;
+                        data += jitter;
+                    }
+                }
                 let mp = self.deps.mem_producer(k);
                 if mp != NO_PRODUCER {
                     let mp = mp as usize;
@@ -444,7 +528,7 @@ impl<'a> Engine<'a> {
 
             k += 1;
         }
-        (k, last_commit, doomed)
+        Ok((k, last_commit, doomed))
     }
 
     /// Availability time of a live-in register value whose producer `p`
@@ -470,65 +554,78 @@ impl<'a> Engine<'a> {
             Some((sp_pc, cqip_pc)) => match self.cfg.value_predictor {
                 ValuePredictorKind::Perfect => t.init_done,
                 ValuePredictorKind::None => t.init_done.max(forwarded),
-                _ => {
-                    let predictor = self.predictor.as_mut().expect("table-backed predictor");
-                    let key = PredKey {
-                        sp_pc,
-                        cqip_pc,
-                        reg: reg.index() as u8,
-                    };
-                    let actual = self.trace.record(p).expect("in range").result;
-                    let guess = predictor.predict(key);
-                    predictor.train(key, actual);
-                    self.result.value_predictions += 1;
-                    if guess == actual {
-                        self.result.value_hits += 1;
-                        t.init_done
-                    } else {
-                        t.init_done.max(forwarded)
+                _ => match self.predictor.as_mut() {
+                    // Defensive: a table-backed kind always builds one.
+                    None => t.init_done.max(forwarded),
+                    Some(predictor) => {
+                        let key = PredKey {
+                            sp_pc,
+                            cqip_pc,
+                            reg: reg.index() as u8,
+                        };
+                        let actual = self.trace.record(p).map_or(0, |r| r.result);
+                        let mut guess = predictor.predict(key);
+                        predictor.train(key, actual);
+                        if let Some(fi) = self.faults.as_mut() {
+                            if fi.roll_corrupt_value() {
+                                guess = guess.wrapping_add(fi.corruption());
+                                self.result.fault_corrupted_values += 1;
+                            }
+                        }
+                        self.result.value_predictions += 1;
+                        if guess == actual {
+                            self.result.value_hits += 1;
+                            t.init_done
+                        } else {
+                            t.init_done.max(forwarded)
+                        }
                     }
-                }
+                },
             },
         };
         cache[reg.index()] = Some(avail);
         avail
     }
 
-    /// Attempts a spawn at dynamic index `k` (an SP occurrence) at cycle
-    /// `f`. Returns a doomed child to record, if the spawn was a control
-    /// misspeculation.
+    /// Attempts a spawn at dynamic index `k` (an SP occurrence whose static
+    /// pc is `pc`) at cycle `f`. Returns a doomed child to record, if the
+    /// spawn was a control misspeculation.
     fn try_spawn(
         &mut self,
         k: usize,
+        pc: Pc,
         f: u64,
         doomed_so_far: &[DoomedChild],
     ) -> Option<DoomedChild> {
-        let pc = self.trace.record(k).expect("in range").pc;
+        if let Some(fi) = self.faults.as_mut() {
+            // Chaos: the spawn opportunity is silently lost (a flaky spawn
+            // unit), before any candidate is even considered.
+            if fi.roll_drop_spawn() {
+                self.result.fault_dropped_spawns += 1;
+                self.result.spawns_declined += 1;
+                return None;
+            }
+        }
+        let reinstate_period = self.cfg.removal.and_then(|p| p.reinstate_after);
         let n_cands = self.table.candidates(pc).len();
         for ci in 0..n_cands {
             let cand = self.table.candidates(pc)[ci];
             let key = (cand.sp.0, cand.cqip.0);
-            if self.pair_rt.get(&key).is_some_and(|s| s.removed) {
-                // The footnote-1 variant: a removed pair may cool off and
-                // come back.
-                let reinstated = self
-                    .cfg
-                    .removal
-                    .and_then(|p| p.reinstate_after)
-                    .is_some_and(|period| {
-                        let e = self.pair_rt.get(&key).expect("checked above");
-                        f.saturating_sub(e.removed_at) >= period
-                    });
-                if reinstated {
-                    let e = self.pair_rt.get_mut(&key).expect("checked above");
-                    e.removed = false;
-                    e.alone_count = 0;
-                } else {
-                    if self.cfg.reassign {
+            // One lookup serves both the removal check and the footnote-1
+            // reinstatement (a removed pair may cool off and come back).
+            if let Some(e) = self.pair_rt.get_mut(&key) {
+                if e.removed {
+                    let reinstated = reinstate_period
+                        .is_some_and(|period| f.saturating_sub(e.removed_at) >= period);
+                    if reinstated {
+                        e.removed = false;
+                        e.alone_count = 0;
+                    } else if self.cfg.reassign {
                         continue;
+                    } else {
+                        self.result.spawns_declined += 1;
+                        return None;
                     }
-                    self.result.spawns_declined += 1;
-                    return None;
                 }
             }
             // Hardware check: a more speculative thread already started at
@@ -536,7 +633,7 @@ impl<'a> Engine<'a> {
             let cqip_busy = self
                 .chain
                 .iter()
-                .map(|c| self.trace.record(c.start).expect("in range").pc.0)
+                .map(|c| c.start_pc)
                 .chain(doomed_so_far.iter().map(|d| d.cqip_pc))
                 .any(|start_pc| start_pc == cand.cqip.0);
             if cqip_busy {
@@ -555,6 +652,21 @@ impl<'a> Engine<'a> {
             };
             self.tus[tu].busy = true;
             self.result.threads_spawned += 1;
+            // Chaos: a spontaneous squash kills the child right after the
+            // unit was claimed — it burns the unit until its spawner joins,
+            // exactly like a control misspeculation, so the committed
+            // stream is untouched.
+            if let Some(fi) = self.faults.as_mut() {
+                if fi.roll_squash() {
+                    self.result.fault_forced_squashes += 1;
+                    return Some(DoomedChild {
+                        tu,
+                        spawn_time: f,
+                        cqip_pc: cand.cqip.0,
+                        pair: key,
+                    });
+                }
+            }
             // Oracle: where does this CQIP next occur?
             let next = self.cqip_occurrences.get(&cand.cqip.0).and_then(|list| {
                 let pos = list.partition_point(|&o| o as usize <= k);
@@ -580,6 +692,7 @@ impl<'a> Engine<'a> {
                 Some(j) => {
                     let child = PendingThread {
                         start: j as usize,
+                        start_pc: cand.cqip.0,
                         spawn_time: f,
                         init_done: f + 1 + self.cfg.init_overhead,
                         tu,
@@ -587,7 +700,7 @@ impl<'a> Engine<'a> {
                     };
                     let pos = self.chain.partition_point(|c| c.start < child.start);
                     debug_assert!(
-                        self.chain.get(pos).map_or(true, |c| c.start != child.start),
+                        self.chain.get(pos).is_none_or(|c| c.start != child.start),
                         "two threads cannot share a start"
                     );
                     self.chain.insert(pos, child);
@@ -630,8 +743,7 @@ impl<'a> Engine<'a> {
                 za.total_cmp(&zb).then(sb.total_cmp(&sa))
             })
             .map(|(k, _)| *k);
-        if let Some(key) = worst {
-            let e = self.pair_rt.get_mut(&key).expect("key exists");
+        if let Some(e) = worst.and_then(|key| self.pair_rt.get_mut(&key)) {
             e.removed = true;
             // Minimum-size removals are structural; keep them permanent by
             // pushing the reinstatement clock far out.
@@ -667,6 +779,20 @@ impl<'a> Engine<'a> {
             }
             return;
         };
+
+        if let Some(fi) = self.faults.as_mut() {
+            // Chaos: condemn the retiring thread's pair as if a dynamic
+            // policy had removed it.
+            if fi.roll_remove_pair() {
+                let e = self.pair_rt.entry(pair).or_default();
+                if !e.removed {
+                    e.removed = true;
+                    e.removed_at = exec_done;
+                    self.result.pairs_removed += 1;
+                    self.result.fault_forced_removals += 1;
+                }
+            }
+        }
 
         if let Some(min) = self.cfg.min_observed_size {
             // Squashed children are the ultimate undersized thread: charge
@@ -762,7 +888,7 @@ mod tests {
     #[test]
     fn single_threaded_baseline_is_sane() {
         let trace = independent_loop(50);
-        let r = Simulator::new(&trace, SimConfig::single_threaded()).run();
+        let r = Simulator::new(&trace, SimConfig::single_threaded()).run().expect("simulation");
         assert_eq!(r.committed_instructions, trace.len() as u64);
         assert_eq!(r.threads_committed, 1);
         let ipc = r.ipc();
@@ -774,10 +900,10 @@ mod tests {
     #[test]
     fn loop_iteration_spawning_speeds_up() {
         let trace = independent_loop(200);
-        let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run();
+        let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run().expect("simulation");
         // Self pair at the loop head (@3).
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
-        let spec = Simulator::with_table(&trace, SimConfig::paper(8), &table).run();
+        let spec = Simulator::with_table(&trace, SimConfig::paper(8), &table).run().expect("simulation");
         assert_eq!(spec.committed_instructions, trace.len() as u64);
         assert!(spec.threads_spawned > 100);
         assert!(
@@ -792,8 +918,8 @@ mod tests {
     #[test]
     fn empty_table_matches_single_threaded_cycles() {
         let trace = independent_loop(30);
-        let a = Simulator::new(&trace, SimConfig::single_threaded()).run();
-        let b = Simulator::new(&trace, SimConfig::paper(16)).run();
+        let a = Simulator::new(&trace, SimConfig::single_threaded()).run().expect("simulation");
+        let b = Simulator::new(&trace, SimConfig::paper(16)).run().expect("simulation");
         assert_eq!(a.cycles, b.cycles);
     }
 
@@ -801,8 +927,8 @@ mod tests {
     fn more_thread_units_never_slow_down_this_loop() {
         let trace = independent_loop(100);
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
-        let c4 = Simulator::with_table(&trace, SimConfig::paper(4), &table).run();
-        let c16 = Simulator::with_table(&trace, SimConfig::paper(16), &table).run();
+        let c4 = Simulator::with_table(&trace, SimConfig::paper(4), &table).run().expect("simulation");
+        let c16 = Simulator::with_table(&trace, SimConfig::paper(16), &table).run().expect("simulation");
         assert!(c16.cycles <= c4.cycles);
     }
 
@@ -812,7 +938,7 @@ mod tests {
         // never executes again: every spawn is a control misspeculation.
         let trace = independent_loop(20);
         let table = SpawnTable::from_pairs(vec![pair(3, 0)]);
-        let r = Simulator::with_table(&trace, SimConfig::paper(4), &table).run();
+        let r = Simulator::with_table(&trace, SimConfig::paper(4), &table).run().expect("simulation");
         assert!(r.threads_spawned >= 1);
         assert_eq!(r.threads_squashed, r.threads_spawned);
         assert_eq!(r.committed_instructions, trace.len() as u64);
@@ -828,7 +954,7 @@ mod tests {
                 SimConfig::paper(8).with_value_predictor(kind),
                 &table,
             )
-            .run()
+            .run().expect("simulation")
         };
         let perfect = run(ValuePredictorKind::Perfect);
         let stride = run(ValuePredictorKind::Stride);
@@ -867,11 +993,11 @@ mod tests {
         b.halt();
         let trace = Trace::generate(b.build().unwrap(), 100_000).unwrap();
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
-        let r = Simulator::with_table(&trace, SimConfig::paper(8), &table).run();
+        let r = Simulator::with_table(&trace, SimConfig::paper(8), &table).run().expect("simulation");
         assert!(r.violations > 0, "expected memory violations");
         assert_eq!(r.committed_instructions, trace.len() as u64);
         // The serial chain caps the benefit.
-        let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run();
+        let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run().expect("simulation");
         assert!(r.cycles * 3 > baseline.cycles);
     }
 
@@ -879,9 +1005,9 @@ mod tests {
     fn init_overhead_costs_cycles() {
         let trace = independent_loop(100);
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
-        let free = Simulator::with_table(&trace, SimConfig::paper(8), &table).run();
+        let free = Simulator::with_table(&trace, SimConfig::paper(8), &table).run().expect("simulation");
         let taxed =
-            Simulator::with_table(&trace, SimConfig::paper(8).with_init_overhead(8), &table).run();
+            Simulator::with_table(&trace, SimConfig::paper(8).with_init_overhead(8), &table).run().expect("simulation");
         assert!(taxed.cycles > free.cycles);
     }
 
@@ -913,7 +1039,7 @@ mod tests {
                 reinstate_after: None,
                 max_companions: 0,
             });
-        let r = Simulator::with_table(&trace, cfg, &table).run();
+        let r = Simulator::with_table(&trace, cfg, &table).run().expect("simulation");
         assert!(r.pairs_removed >= 1, "pair should be removed: {r:?}");
     }
 
@@ -923,10 +1049,10 @@ mod tests {
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
         let mut cfg = SimConfig::paper(8);
         cfg.min_observed_size = Some(100); // iterations are ~36 instructions
-        let r = Simulator::with_table(&trace, cfg, &table).run();
+        let r = Simulator::with_table(&trace, cfg, &table).run().expect("simulation");
         assert_eq!(r.pairs_removed, 1);
         // After removal, spawning stops.
-        let unlimited = Simulator::with_table(&trace, SimConfig::paper(8), &table).run();
+        let unlimited = Simulator::with_table(&trace, SimConfig::paper(8), &table).run().expect("simulation");
         assert!(r.threads_spawned < unlimited.threads_spawned);
     }
 
@@ -934,7 +1060,7 @@ mod tests {
     fn branch_predictor_tables_persist_across_threads() {
         let trace = independent_loop(300);
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
-        let r = Simulator::with_table(&trace, SimConfig::paper(4), &table).run();
+        let r = Simulator::with_table(&trace, SimConfig::paper(4), &table).run().expect("simulation");
         // The loop branch is overwhelmingly taken; persistent gshare state
         // should predict it well despite thread switches.
         assert!(r.branch_hit_ratio() > 0.8, "{}", r.branch_hit_ratio());
@@ -956,7 +1082,7 @@ mod tests {
             let mut cfg = SimConfig::single_threaded();
             cfg.fetch_width = fetch;
             cfg.issue_width = issue;
-            Simulator::new(&trace, cfg).run().cycles
+            Simulator::new(&trace, cfg).run().expect("simulation").cycles
         };
         let narrow = run(1, 4);
         let wide = run(4, 4);
@@ -982,7 +1108,7 @@ mod tests {
             max_companions: 0,
         };
         let strict =
-            Simulator::with_table(&trace, SimConfig::paper(8).with_removal(base), &table).run();
+            Simulator::with_table(&trace, SimConfig::paper(8).with_removal(base), &table).run().expect("simulation");
         let few = Simulator::with_table(
             &trace,
             SimConfig::paper(8).with_removal(crate::RemovalPolicy {
@@ -991,7 +1117,7 @@ mod tests {
             }),
             &table,
         )
-        .run();
+        .run().expect("simulation");
         assert!(few.pairs_removed >= strict.pairs_removed);
         assert_eq!(few.committed_instructions, trace.len() as u64);
     }
@@ -1014,7 +1140,7 @@ mod tests {
             let mut cfg = SimConfig::single_threaded();
             cfg.phys_regs = phys;
             cfg.rob_entries = 256; // isolate the rename constraint
-            Simulator::new(&trace, cfg).run().cycles
+            Simulator::new(&trace, cfg).run().expect("simulation").cycles
         };
         assert!(run(36) > run(64), "36: {} vs 64: {}", run(36), run(64));
         assert!(run(64) >= run(256));
@@ -1036,7 +1162,7 @@ mod tests {
         let run = |rob: usize| {
             let mut cfg = SimConfig::single_threaded();
             cfg.rob_entries = rob;
-            Simulator::new(&trace, cfg).run().cycles
+            Simulator::new(&trace, cfg).run().expect("simulation").cycles
         };
         assert!(run(4) > run(64), "rob4 {} vs rob64 {}", run(4), run(64));
     }
@@ -1047,9 +1173,9 @@ mod tests {
     fn init_overhead_is_charged_to_the_spawned_thread() {
         let trace = independent_loop(2);
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
-        let base = Simulator::with_table(&trace, SimConfig::paper(2), &table).run();
+        let base = Simulator::with_table(&trace, SimConfig::paper(2), &table).run().expect("simulation");
         let taxed =
-            Simulator::with_table(&trace, SimConfig::paper(2).with_init_overhead(40), &table).run();
+            Simulator::with_table(&trace, SimConfig::paper(2).with_init_overhead(40), &table).run().expect("simulation");
         assert!(taxed.cycles >= base.cycles);
         assert!(
             taxed.cycles <= base.cycles + 40 * (base.threads_spawned + 1),
@@ -1066,7 +1192,7 @@ mod tests {
     fn cqip_conflicts_decline_spawns() {
         let trace = independent_loop(50);
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
-        let r = Simulator::with_table(&trace, SimConfig::paper(16), &table).run();
+        let r = Simulator::with_table(&trace, SimConfig::paper(16), &table).run().expect("simulation");
         assert!(r.spawns_declined > 0, "{r:?}");
         // Committed thread count can never exceed iterations + 1.
         assert!(r.threads_committed <= 51);
@@ -1078,10 +1204,10 @@ mod tests {
     fn reassign_spawns_at_least_as_often() {
         let trace = independent_loop(100);
         let table = SpawnTable::from_pairs(vec![pair(3, 3), pair(3, 41)]);
-        let base = Simulator::with_table(&trace, SimConfig::paper(8), &table).run();
+        let base = Simulator::with_table(&trace, SimConfig::paper(8), &table).run().expect("simulation");
         let mut cfg = SimConfig::paper(8);
         cfg.reassign = true;
-        let re = Simulator::with_table(&trace, cfg, &table).run();
+        let re = Simulator::with_table(&trace, cfg, &table).run().expect("simulation");
         assert!(re.threads_spawned >= base.threads_spawned);
         assert_eq!(re.committed_instructions, trace.len() as u64);
     }
@@ -1106,9 +1232,9 @@ mod tests {
             b.halt();
             Trace::generate(b.build().unwrap(), 100_000).unwrap()
         };
-        let dense = Simulator::new(&build(8), SimConfig::single_threaded()).run();
+        let dense = Simulator::new(&build(8), SimConfig::single_threaded()).run().expect("simulation");
         // 4 KiB stride: every access a fresh block, conflict misses galore.
-        let sparse = Simulator::new(&build(4096), SimConfig::single_threaded()).run();
+        let sparse = Simulator::new(&build(4096), SimConfig::single_threaded()).run().expect("simulation");
         // Dense: one miss per four accesses (8B stride in 32B blocks).
         // Sparse: every access misses (4 KiB stride cycles few sets).
         assert!(sparse.cache_misses > dense.cache_misses * 3);
@@ -1129,7 +1255,7 @@ mod tests {
             max_companions: 0,
         };
         let permanent =
-            Simulator::with_table(&trace, SimConfig::paper(4).with_removal(removal), &table).run();
+            Simulator::with_table(&trace, SimConfig::paper(4).with_removal(removal), &table).run().expect("simulation");
         let reinstated = Simulator::with_table(
             &trace,
             SimConfig::paper(4).with_removal(crate::RemovalPolicy {
@@ -1138,7 +1264,7 @@ mod tests {
             }),
             &table,
         )
-        .run();
+        .run().expect("simulation");
         assert!(permanent.pairs_removed >= 1);
         assert!(
             reinstated.threads_spawned > permanent.threads_spawned,
@@ -1156,7 +1282,7 @@ mod tests {
         let trace = independent_loop(200);
         let table = SpawnTable::from_pairs(vec![pair(3, 3)]);
         for tus in [2usize, 4, 8] {
-            let r = Simulator::with_table(&trace, SimConfig::paper(tus), &table).run();
+            let r = Simulator::with_table(&trace, SimConfig::paper(tus), &table).run().expect("simulation");
             let act = r.avg_active_threads();
             assert!(act <= tus as f64 + 1e-9, "{act} > {tus}");
             assert!(act >= 1.0);

@@ -1,0 +1,135 @@
+//! Structured simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Simulator::run`](crate::Simulator::run).
+///
+/// The first two variants reject bad inputs before the simulation starts;
+/// the remaining ones report post-run audit failures — the engine checks its
+/// own hard invariants after every run (the committed stream must equal the
+/// sequential trace, no thread unit may leak, statistics must balance) and
+/// reports a violation instead of silently returning wrong numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration is internally inconsistent (zero widths, a cache
+    /// with no sets, ...).
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The fault plan holds an out-of-range rate or an unparsable spec.
+    InvalidFaultPlan {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Committed thread windows failed to partition the trace exactly.
+    TracePartition {
+        /// Dynamic instructions in the trace.
+        expected: usize,
+        /// Dynamic instructions covered by committed windows.
+        processed: usize,
+    },
+    /// The committed instruction count diverged from the trace length.
+    CommitMismatch {
+        /// The trace length.
+        expected: u64,
+        /// Instructions actually committed.
+        committed: u64,
+    },
+    /// A thread unit was still marked busy after the last thread committed.
+    ThreadUnitLeak {
+        /// Index of the leaked unit.
+        unit: usize,
+    },
+    /// Aggregate statistics failed a conservation law (e.g. spawned ≠
+    /// committed + squashed − 1).
+    StatsConservation {
+        /// Which law was broken, with the observed numbers.
+        reason: String,
+    },
+    /// An internal engine invariant broke mid-run (a dynamic index escaped
+    /// the trace, a window went backwards, ...).
+    BrokenInvariant {
+        /// What broke.
+        reason: String,
+    },
+}
+
+impl SimError {
+    pub(crate) fn invalid_config(reason: impl Into<String>) -> SimError {
+        SimError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn invalid_fault_plan(reason: impl Into<String>) -> SimError {
+        SimError::InvalidFaultPlan {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn broken(reason: impl Into<String>) -> SimError {
+        SimError::BrokenInvariant {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulator configuration: {reason}")
+            }
+            SimError::InvalidFaultPlan { reason } => write!(f, "invalid fault plan: {reason}"),
+            SimError::TracePartition {
+                expected,
+                processed,
+            } => write!(
+                f,
+                "committed windows cover {processed} of {expected} dynamic instructions"
+            ),
+            SimError::CommitMismatch {
+                expected,
+                committed,
+            } => write!(
+                f,
+                "committed {committed} instructions but the trace holds {expected}"
+            ),
+            SimError::ThreadUnitLeak { unit } => {
+                write!(f, "thread unit {unit} still busy after the final commit")
+            }
+            SimError::StatsConservation { reason } => {
+                write!(f, "statistics failed conservation: {reason}")
+            }
+            SimError::BrokenInvariant { reason } => {
+                write!(f, "engine invariant broken: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_numbers() {
+        let e = SimError::CommitMismatch {
+            expected: 100,
+            committed: 99,
+        };
+        let s = e.to_string();
+        assert!(s.contains("99") && s.contains("100"), "{s}");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

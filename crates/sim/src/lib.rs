@@ -42,24 +42,38 @@
 //! let w = ijpeg(Scale::Small);
 //! let trace = Trace::generate(w.program.clone(), w.step_budget)?;
 //!
-//! let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run();
+//! let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run()?;
 //!
 //! let pairs = profile_pairs(&trace, &ProfileConfig::default());
-//! let speculative = Simulator::with_table(&trace, SimConfig::paper(16), &pairs.table).run();
+//! let speculative = Simulator::with_table(&trace, SimConfig::paper(16), &pairs.table).run()?;
 //!
 //! assert!(speculative.cycles <= baseline.cycles);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Robustness
+//!
+//! [`Simulator::run`] returns a [`SimError`] instead of panicking: the
+//! configuration is validated up front, and hard model invariants (window
+//! partition, commit completeness, thread-unit accounting) are audited after
+//! every run. A seeded [`FaultPlan`] can inject deterministic hardware
+//! misbehaviour — see the [`faults`](crate::FaultPlan) docs — which the
+//! audit must survive.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod cache;
 mod config;
 mod engine;
+mod error;
+mod faults;
 mod result;
 
 pub use cache::L1Cache;
 pub use config::{CacheConfig, RemovalPolicy, SimConfig};
 pub use engine::Simulator;
+pub use error::SimError;
+pub use faults::FaultPlan;
 pub use result::SimResult;

@@ -1,7 +1,5 @@
 //! Simulation results.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregate statistics from one simulation run.
 ///
 /// `cycles` against a [`SimConfig::single_threaded`] run of the same trace
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// removal/squash accounting).
 ///
 /// [`SimConfig::single_threaded`]: crate::SimConfig::single_threaded
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResult {
     /// Total execution time in cycles (commit time of the last thread).
     pub cycles: u64,
@@ -54,7 +52,44 @@ pub struct SimResult {
     /// Averages hide the fragmentation the paper's Figure 7a is about; the
     /// histogram (and [`SimResult::median_thread_size`]) shows it.
     pub thread_size_histogram: Vec<u64>,
+    /// Spawn opportunities dropped by the fault injector.
+    pub fault_dropped_spawns: u64,
+    /// Successful spawns spontaneously squashed by the fault injector (also
+    /// counted in `threads_squashed`).
+    pub fault_forced_squashes: u64,
+    /// Value-predictor guesses corrupted by the fault injector.
+    pub fault_corrupted_values: u64,
+    /// Total extra load latency injected as cache jitter, in cycles.
+    pub fault_jitter_cycles: u64,
+    /// Spawning pairs forcibly removed by the fault injector (also counted
+    /// in `pairs_removed`).
+    pub fault_forced_removals: u64,
 }
+
+serde::impl_serde_struct!(SimResult {
+    cycles,
+    committed_instructions,
+    threads_committed,
+    threads_spawned,
+    threads_squashed,
+    spawns_declined,
+    violations,
+    value_predictions,
+    value_hits,
+    branch_predictions,
+    branch_hits,
+    cache_hits,
+    cache_misses,
+    pairs_removed,
+    thread_lifetime_cycles,
+    thread_size_sum,
+    thread_size_histogram,
+    fault_dropped_spawns,
+    fault_forced_squashes,
+    fault_corrupted_values,
+    fault_jitter_cycles,
+    fault_forced_removals,
+});
 
 impl SimResult {
     /// Instructions per cycle.

@@ -2,11 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use specmt_isa::Pc;
 
 /// How a spawning pair was selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PairOrigin {
     /// Selected by the profile-based reaching-probability analysis.
     Profile,
@@ -26,7 +25,7 @@ pub enum PairOrigin {
 }
 
 /// One spawning pair with its profile statistics and ranking score.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpawnPair {
     /// The spawning point: reaching this instruction fires a spawn.
     pub sp: Pc,
@@ -67,9 +66,42 @@ pub struct SpawnPair {
 /// // Best-scored candidate first.
 /// assert_eq!(table.candidates(Pc(3))[0].cqip, Pc(7));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SpawnTable {
     by_sp: BTreeMap<u32, Vec<SpawnPair>>,
+}
+
+serde::impl_serde_enum!(PairOrigin {
+    Profile,
+    ReturnPair,
+    LoopIteration,
+    LoopContinuation,
+    SubroutineContinuation,
+    MemSlice,
+});
+
+serde::impl_serde_struct!(SpawnPair {
+    sp,
+    cqip,
+    prob,
+    avg_dist,
+    score,
+    origin,
+});
+
+impl serde::Serialize for SpawnTable {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.iter().copied().collect::<Vec<_>>())
+    }
+}
+
+// Deserialization funnels through `from_pairs` so loaded tables are always
+// deduplicated and score-ordered, whatever the input claimed.
+impl serde::Deserialize for SpawnTable {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = <Vec<SpawnPair> as serde::Deserialize>::from_value(v)?;
+        Ok(SpawnTable::from_pairs(pairs))
+    }
 }
 
 impl SpawnTable {

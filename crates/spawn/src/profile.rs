@@ -252,7 +252,7 @@ impl<'a> DepScorer<'a> {
         // Per-register live-in predictability across the sampled
         // occurrences, with a fresh two-delta stride model per register.
         let mut predictable_reg = [true; specmt_isa::NUM_REGS];
-        for r in 0..specmt_isa::NUM_REGS {
+        for (r, predictable) in predictable_reg.iter_mut().enumerate() {
             let values: Vec<u64> = windows.iter().filter_map(|w| w.live_in_values[r]).collect();
             if values.len() >= 2 {
                 let mut hits = 0usize;
@@ -265,7 +265,7 @@ impl<'a> DepScorer<'a> {
                     stride = v.wrapping_sub(last) as i64;
                     last = v;
                 }
-                predictable_reg[r] = hits * 10 >= (values.len() - 1) * 6;
+                *predictable = hits * 10 >= (values.len() - 1) * 6;
             }
             // With fewer than two observations, keep the optimistic default:
             // loop-invariant live-ins (base pointers, bounds) predict
@@ -282,13 +282,10 @@ impl<'a> DepScorer<'a> {
                     indep += 1;
                     pred += 1;
                 } else if mask & MEM_BIT == 0 {
-                    let mut ok = true;
-                    for r in 0..specmt_isa::NUM_REGS {
-                        if mask & (1 << r) != 0 && !predictable_reg[r] {
-                            ok = false;
-                            break;
-                        }
-                    }
+                    let ok = predictable_reg
+                        .iter()
+                        .enumerate()
+                        .all(|(r, &p)| mask & (1 << r) == 0 || p);
                     if ok {
                         pred += 1;
                     }

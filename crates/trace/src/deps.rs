@@ -64,7 +64,7 @@ impl DepGraph {
 
         for k in 0..n {
             let inst = trace.inst(k);
-            let rec = trace.record(k).expect("index in range");
+            let rec = &trace.records()[k];
             for (s, src) in inst.srcs().into_iter().enumerate() {
                 if let Some(r) = src {
                     if !r.is_zero() {

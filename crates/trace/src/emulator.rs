@@ -50,6 +50,8 @@ pub struct Emulator {
     pc: Pc,
     halted: bool,
     steps: u64,
+    /// Cap on resident memory pages (`None` = unbounded).
+    max_pages: Option<usize>,
 }
 
 impl Emulator {
@@ -74,7 +76,17 @@ impl Emulator {
             pc,
             halted: false,
             steps: 0,
+            max_pages: None,
         }
+    }
+
+    /// Caps emulated memory at roughly `bytes` (rounded up to whole 32 KiB
+    /// pages, minimum one). A store that grows the footprint past the cap
+    /// faults with [`TraceError::Limit`] — a runaway program cannot exhaust
+    /// host memory.
+    pub fn set_memory_limit(&mut self, bytes: u64) {
+        let page_bytes = crate::Memory::PAGE_BYTES;
+        self.max_pages = Some((bytes.div_ceil(page_bytes).max(1)) as usize);
     }
 
     /// The value of `reg` (always zero for [`Reg::ZERO`]).
@@ -156,7 +168,7 @@ impl Emulator {
             }
             Inst::Load { dst, base, offset } => {
                 addr = self.reg(base).wrapping_add(offset as u64);
-                if addr % WORD_BYTES != 0 {
+                if !addr.is_multiple_of(WORD_BYTES) {
                     return Err(TraceError::UnalignedAccess { at: pc, addr });
                 }
                 result = self.mem.load(addr);
@@ -164,11 +176,19 @@ impl Emulator {
             }
             Inst::Store { src, base, offset } => {
                 addr = self.reg(base).wrapping_add(offset as u64);
-                if addr % WORD_BYTES != 0 {
+                if !addr.is_multiple_of(WORD_BYTES) {
                     return Err(TraceError::UnalignedAccess { at: pc, addr });
                 }
                 result = self.reg(src);
                 self.mem.store(addr, result);
+                if let Some(max) = self.max_pages {
+                    if self.mem.resident_pages() > max {
+                        return Err(TraceError::Limit {
+                            resource: "memory",
+                            limit: max as u64 * crate::Memory::PAGE_BYTES,
+                        });
+                    }
+                }
             }
             Inst::Branch { cond, a, b, target } => {
                 if cond.eval(self.reg(a), self.reg(b)) {
@@ -335,6 +355,26 @@ mod tests {
         emu.run(10).unwrap();
         assert_eq!(emu.step().unwrap(), StepOutcome::Halted);
         assert_eq!(emu.steps(), 1);
+    }
+
+    #[test]
+    fn memory_limit_faults_runaway_writer() {
+        // Touch a fresh 32 KiB page per iteration, forever.
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0x10000);
+        b.bind(top);
+        b.st(Reg::R1, Reg::R1, 0);
+        b.addi(Reg::R1, Reg::R1, 32 * 1024);
+        b.j(top);
+        b.halt();
+        let mut emu = Emulator::new(b.build().unwrap());
+        emu.set_memory_limit(4 * 32 * 1024);
+        let err = emu.run(1_000_000).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Limit { resource: "memory", .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub enum TraceError {
         /// The budget that was exhausted.
         limit: u64,
     },
+    /// A bounded resource other than the step budget was exhausted
+    /// (emulated memory, serialized-trace size, ...).
+    Limit {
+        /// What ran out (e.g. `"memory"`).
+        resource: &'static str,
+        /// The configured cap, in the resource's natural unit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -46,6 +54,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::StepLimitExceeded { limit } => {
                 write!(f, "program did not halt within {limit} steps")
+            }
+            TraceError::Limit { resource, limit } => {
+                write!(f, "{resource} limit of {limit} exceeded")
             }
         }
     }

@@ -172,6 +172,12 @@ impl Trace {
         }
 
         let program_len = program.len() as u64;
+        // Every record costs at least its flag byte, so a count beyond the
+        // remaining bytes is corrupt — reject it before reserving, or a
+        // crafted header could demand an unbounded allocation.
+        if count > buf.remaining() {
+            return Err(bad("record count exceeds available data"));
+        }
         let mut records = Vec::with_capacity(count);
         let mut prev_pc: u64 = u64::MAX;
         for _ in 0..count {

@@ -30,6 +30,9 @@ pub struct Memory {
 }
 
 impl Memory {
+    /// Bytes per allocation page.
+    pub const PAGE_BYTES: u64 = (PAGE_WORDS as u64) * WORD_BYTES;
+
     /// Creates an empty (all-zero) memory.
     pub fn new() -> Memory {
         Memory::default()
@@ -74,7 +77,7 @@ mod tests {
     fn untouched_memory_is_zero() {
         let mem = Memory::new();
         assert_eq!(mem.load(0), 0);
-        assert_eq!(mem.load(u64::MAX & !7), 0);
+        assert_eq!(mem.load(!7u64), 0);
         assert_eq!(mem.resident_pages(), 0);
     }
 

@@ -50,7 +50,7 @@ pub struct DynInst {
 /// b.halt();
 /// let trace = Trace::generate(b.build()?, 100)?;
 /// assert_eq!(trace.len(), 2);
-/// assert_eq!(trace.record(0).unwrap().result, 7);
+/// assert_eq!(trace.record(0).map(|r| r.result), Some(7));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -73,13 +73,38 @@ impl Trace {
         Trace::generate_arc(Arc::new(program), max_steps)
     }
 
+    /// As [`Trace::generate`], but additionally caps the emulated memory
+    /// footprint at `max_mem_bytes` (see [`Emulator::set_memory_limit`]) —
+    /// the bounded-resource entry point for running untrusted or fuzzed
+    /// programs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Trace::generate`], plus [`TraceError::Limit`] when the program
+    /// touches more memory than allowed.
+    pub fn generate_bounded(
+        program: Program,
+        max_steps: u64,
+        max_mem_bytes: u64,
+    ) -> Result<Trace, TraceError> {
+        let mut emu = Emulator::new(program);
+        emu.set_memory_limit(max_mem_bytes);
+        Trace::record_from(emu, max_steps)
+    }
+
     /// As [`Trace::generate`], but shares an existing [`Arc`]ed program.
     ///
     /// # Errors
     ///
     /// As [`Trace::generate`].
     pub fn generate_arc(program: Arc<Program>, max_steps: u64) -> Result<Trace, TraceError> {
-        let mut emu = Emulator::from_arc(Arc::clone(&program));
+        let emu = Emulator::from_arc(Arc::clone(&program));
+        Trace::record_from(emu, max_steps)
+    }
+
+    /// Drives `emu` to completion, recording every executed instruction.
+    fn record_from(mut emu: Emulator, max_steps: u64) -> Result<Trace, TraceError> {
+        let program = Arc::clone(emu.program());
         let mut records = Vec::new();
         loop {
             if records.len() as u64 >= max_steps {
@@ -144,13 +169,35 @@ impl Trace {
 
     /// The static instruction executed at dynamic index `k`.
     ///
+    /// Every generated or deserialized trace keeps its pcs inside the
+    /// program ([`Trace::validate`] checks exactly this), so the inner
+    /// lookup is a plain slice index.
+    ///
     /// # Panics
     ///
     /// Panics if `k` is out of range.
     pub fn inst(&self, k: usize) -> &Inst {
-        self.program
-            .inst(self.records[k].pc)
-            .expect("trace pc within program")
+        &self.program.insts()[self.records[k].pc.index()]
+    }
+
+    /// Checks the structural invariant every downstream consumer relies on:
+    /// each recorded pc names an instruction of the program.
+    ///
+    /// Generated traces satisfy this by construction and the binary reader
+    /// re-checks it record by record; call this when records arrive from any
+    /// other source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadPc`] naming the first out-of-range pc.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let len = self.program.len();
+        for r in &self.records {
+            if r.pc.index() >= len {
+                return Err(TraceError::BadPc { pc: r.pc, len });
+            }
+        }
+        Ok(())
     }
 
     /// The final architectural value of `reg` after the program halted.
@@ -173,8 +220,9 @@ impl Trace {
     /// Summarises the dynamic instruction mix.
     pub fn mix(&self) -> TraceMix {
         let mut mix = TraceMix::default();
+        let insts = self.program.insts();
         for r in &self.records {
-            let inst = self.program.inst(r.pc).expect("trace pc within program");
+            let inst = &insts[r.pc.index()];
             mix.total += 1;
             if inst.is_load() {
                 mix.loads += 1;
@@ -239,6 +287,19 @@ mod tests {
     fn step_limit_is_enforced() {
         let err = Trace::generate(loop_program(1_000_000), 100).unwrap_err();
         assert_eq!(err, TraceError::StepLimitExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn generated_traces_validate() {
+        let trace = Trace::generate(loop_program(4), 1000).unwrap();
+        trace.validate().unwrap();
+    }
+
+    #[test]
+    fn bounded_generation_matches_unbounded_when_within_limits() {
+        let a = Trace::generate(loop_program(4), 1000).unwrap();
+        let b = Trace::generate_bounded(loop_program(4), 1000, 1 << 20).unwrap();
+        assert_eq!(a.records(), b.records());
     }
 
     #[test]

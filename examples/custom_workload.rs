@@ -96,9 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run();
+    let baseline = Simulator::new(&trace, SimConfig::single_threaded()).run()?;
     for tus in [4usize, 16] {
-        let r = Simulator::with_table(&trace, SimConfig::paper(tus), &profile.table).run();
+        let r = Simulator::with_table(&trace, SimConfig::paper(tus), &profile.table).run()?;
         println!(
             "{tus:>2} thread units: {:.2}x ({} threads, avg size {:.0} instructions)",
             baseline.cycles as f64 / r.cycles as f64,

@@ -53,8 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if set.is_none() {
                 cfg.min_observed_size = Some(32);
             }
-            let r = bench.run(cfg, &spawn_table);
-            let sp = bench.speedup(&r);
+            let r = bench.run(cfg, &spawn_table)?;
+            let sp = bench.speedup(&r)?;
             columns[col].push(sp);
             cells.push(format!("{sp:.2}"));
         }

@@ -44,15 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Simulate: single-threaded baseline vs 16 speculative thread units
     //    with perfect value prediction (the Figure 3 setup).
-    let result = bench.run(SimConfig::paper(16), &profile.table);
+    let result = bench.run(SimConfig::paper(16), &profile.table)?;
     println!(
         "\nbaseline: {} cycles | speculative: {} cycles",
-        bench.baseline_cycles(),
+        bench.baseline_cycles()?,
         result.cycles
     );
     println!(
         "speed-up {:.2}x with {:.1} threads active on average ({} spawns, {} squashed)",
-        bench.speedup(&result),
+        bench.speedup(&result)?,
         result.avg_active_threads(),
         result.threads_spawned,
         result.threads_squashed

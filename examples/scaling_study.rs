@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bench.name(),
         bench.trace().len(),
         table.num_pairs(),
-        bench.baseline_cycles()
+        bench.baseline_cycles()?
     );
 
     for kind in [
@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for tus in [1usize, 2, 4, 8, 16] {
             let mut cfg = SimConfig::paper(tus).with_value_predictor(kind);
             cfg.min_observed_size = Some(32);
-            let r = bench.run(cfg, &table);
-            chart.bar(&format!("{tus:>2} TUs"), bench.speedup(&r));
+            let r = bench.run(cfg, &table)?;
+            chart.bar(&format!("{tus:>2} TUs"), bench.speedup(&r)?);
         }
         println!("{}", chart.render());
     }

@@ -87,7 +87,7 @@ fn committed_instructions_always_equal_the_trace() {
         ];
         for cfg in configs {
             for table in [&profile.table, &heur] {
-                let r = bench.run(cfg.clone(), table);
+                let r = bench.run(cfg.clone(), table).expect("simulation");
                 assert_eq!(
                     r.committed_instructions,
                     bench.trace().len() as u64,
@@ -107,8 +107,8 @@ fn committed_instructions_always_equal_the_trace() {
 fn ideal_speculation_is_never_slower() {
     for bench in Bench::suite(Scale::Small).expect("suite traces") {
         let profile = bench.profile_table(&ProfileConfig::default());
-        let r = bench.run(SimConfig::paper(16), &profile.table);
-        let speedup = bench.speedup(&r);
+        let r = bench.run(SimConfig::paper(16), &profile.table).expect("simulation");
+        let speedup = bench.speedup(&r).expect("baseline simulation");
         assert!(
             speedup >= 0.99,
             "{}: ideal speculative run slower than baseline ({speedup:.2})",
@@ -122,9 +122,13 @@ fn ideal_speculation_is_never_slower() {
 #[test]
 fn no_pairs_means_single_threaded_timing() {
     let bench = Bench::load("go", Scale::Tiny).expect("traces");
-    let base = Simulator::new(bench.trace(), SimConfig::single_threaded()).run();
+    let base = Simulator::new(bench.trace(), SimConfig::single_threaded())
+        .run()
+        .expect("simulation");
     for tus in [2usize, 4, 16] {
-        let r = Simulator::new(bench.trace(), SimConfig::paper(tus)).run();
+        let r = Simulator::new(bench.trace(), SimConfig::paper(tus))
+            .run()
+            .expect("simulation");
         assert_eq!(r.cycles, base.cycles);
         assert_eq!(r.threads_committed, 1);
     }
@@ -140,6 +144,7 @@ fn value_prediction_quality_orders_speedups() {
         let cycles = |kind| {
             bench
                 .run(SimConfig::paper(8).with_value_predictor(kind), &table)
+                .expect("simulation")
                 .cycles
         };
         let perfect = cycles(ValuePredictorKind::Perfect);
@@ -174,7 +179,7 @@ fn unit_scaling_is_monotone_for_ijpeg() {
     let table = bench.profile_table(&ProfileConfig::default()).table;
     let mut last = u64::MAX;
     for tus in [1usize, 2, 4, 8, 16] {
-        let r = bench.run(SimConfig::paper(tus), &table);
+        let r = bench.run(SimConfig::paper(tus), &table).expect("simulation");
         assert!(
             r.cycles <= last,
             "ijpeg slowed down going to {tus} units: {} > {last}",

@@ -217,7 +217,7 @@ proptest! {
         }
         cfg.reassign = reassign;
         cfg.min_observed_size = min_size;
-        let r = Simulator::with_table(&trace, cfg, &table).run();
+        let r = Simulator::with_table(&trace, cfg, &table).run().expect("simulation");
         prop_assert_eq!(r.committed_instructions, trace.len() as u64);
         prop_assert!(r.cycles > 0);
         // Sequential semantics imply the cycle count is at least the

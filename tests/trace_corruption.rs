@@ -1,0 +1,105 @@
+//! Fuzz the two untrusted input surfaces: the binary trace reader and the
+//! assembly parser. Whatever bytes arrive, they must return an error —
+//! never panic, and never allocate proportionally to a length field an
+//! attacker controls rather than to the input itself.
+
+use proptest::prelude::*;
+
+use specmt::isa::{parse_program, ProgramBuilder, Reg};
+use specmt::trace::Trace;
+
+/// A small but real trace, serialized.
+fn serialized_trace() -> Vec<u8> {
+    let mut b = ProgramBuilder::new();
+    let top = b.fresh_label("top");
+    b.li(Reg::R1, 0);
+    b.li(Reg::R2, 20);
+    b.li(Reg::R3, 0x1000);
+    b.bind(top);
+    b.st(Reg::R1, Reg::R3, 0);
+    b.ld(Reg::R4, Reg::R3, 0);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.blt(Reg::R1, Reg::R2, top);
+    b.halt();
+    let trace = Trace::generate(b.build().expect("program"), 1000).expect("trace");
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).expect("serialize");
+    bytes
+}
+
+proptest! {
+    /// Arbitrary garbage: the reader returns Ok or Err, never panics.
+    #[test]
+    fn read_from_arbitrary_bytes_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Trace::read_from(&data[..]);
+    }
+
+    /// Point mutations of a genuine trace: still no panic, and anything the
+    /// reader accepts must satisfy the trace's structural invariant.
+    #[test]
+    fn read_from_mutated_trace_never_panics(
+        flips in prop::collection::vec((any::<u64>(), any::<u8>()), 1..8)
+    ) {
+        let mut data = serialized_trace();
+        for (idx, x) in flips {
+            let i = idx as usize % data.len();
+            data[i] ^= x;
+        }
+        if let Ok(trace) = Trace::read_from(&data[..]) {
+            trace.validate().expect("accepted trace must be structurally valid");
+        }
+    }
+
+    /// Truncations at every length: no panic, no bogus success beyond the
+    /// container header.
+    #[test]
+    fn read_from_truncated_trace_never_panics(cut in any::<u64>()) {
+        let data = serialized_trace();
+        let n = cut as usize % data.len();
+        let _ = Trace::read_from(&data[..n]);
+    }
+
+    /// Mutated assembly text: the parser errors, it does not panic.
+    #[test]
+    fn parse_program_never_panics_on_mutated_assembly(
+        flips in prop::collection::vec((any::<u64>(), 0u32..0x11_0000), 1..6)
+    ) {
+        let mut text = String::from(
+            "start:\n  li r1, 0\n  li r2, 9\nloop:\n  addi r1, r1, 1\n  blt r1, r2, loop\n  halt\n",
+        );
+        for (idx, raw) in flips {
+            let c = char::from_u32(raw).unwrap_or('\u{fffd}');
+            let mut chars: Vec<char> = text.chars().collect();
+            let i = idx as usize % chars.len();
+            chars[i] = c;
+            text = chars.into_iter().collect();
+        }
+        let _ = parse_program(&text);
+    }
+
+    /// Arbitrary text through the parser, for good measure.
+    #[test]
+    fn parse_program_never_panics_on_arbitrary_text(
+        bytes in prop::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_program(&text);
+    }
+}
+
+/// A crafted header claiming u64::MAX records must be rejected up front —
+/// before `Vec::with_capacity` turns the length field into an allocation.
+#[test]
+fn huge_record_count_is_rejected_without_allocating() {
+    let data = serialized_trace();
+    // Locate the count field: magic(4) + version(4) + plen(4) + program + count(8).
+    let plen = u32::from_le_bytes([data[8], data[9], data[10], data[11]]) as usize;
+    let count_at = 12 + plen;
+    let mut evil = data.clone();
+    evil[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    let err = Trace::read_from(&evil[..]).expect_err("absurd count must not parse");
+    assert!(
+        err.to_string().contains("count"),
+        "unexpected error: {err}"
+    );
+}

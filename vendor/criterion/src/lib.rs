@@ -1,0 +1,176 @@
+//! Minimal in-tree micro-benchmark harness exposing the `criterion` API
+//! surface this workspace uses: `Criterion`, `benchmark_group`,
+//! `bench_function`, `Throughput`, `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark warms up briefly, then measures wall-clock time for a
+//! bounded number of iterations and prints the mean per-iteration time (plus
+//! element throughput when declared). No statistics beyond that — the goal
+//! is a working `cargo bench` without network access, not criterion's
+//! analysis.
+
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark.
+const TARGET_TIME: Duration = Duration::from_millis(400);
+/// Upper bound on measured iterations per benchmark.
+const MAX_ITERS: u32 = 50;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to print throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u32,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly within the time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also primes caches the first measured call would miss).
+        black_box(f());
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < TARGET_TIME {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.total / b.iters;
+    let mut line = format!("  {name}: {per_iter:?}/iter ({} iters)", b.iters);
+    let secs = per_iter.as_secs_f64();
+    if secs > 0.0 {
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(", {:.3} Melem/s", n as f64 / secs / 1e6));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(", {:.3} MiB/s", n as f64 / secs / (1 << 20) as f64));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("id", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,568 @@
+//! Minimal in-tree stand-in for the parts of `serde` this workspace uses.
+//!
+//! The build environment has no network access, so the external crates the
+//! workspace depends on are vendored as small, dependency-free
+//! implementations. This crate provides a `Value`-based data model:
+//! [`Serialize`] renders a type to a [`Value`] tree, [`Deserialize`] rebuilds
+//! the type from one, and the vendored `serde_json` maps `Value` to and from
+//! JSON text.
+//!
+//! Instead of a derive macro, the [`impl_serde_struct!`], [`impl_serde_enum!`]
+//! and [`impl_serde_newtype!`] macros generate the impls at the definition
+//! site. Types with construction invariants (`Program`, `Reg`, `SpawnTable`)
+//! write the impls by hand so that deserialization re-validates — corrupted
+//! input yields an [`Error`], never an invalid value.
+
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// The self-describing data model every serializable type maps through.
+///
+/// Objects preserve insertion order (they are association lists, not maps);
+/// duplicate keys are not rejected, the first occurrence wins on lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A negative or small signed integer.
+    Int(i64),
+    /// A non-negative integer (the parser's default for unsigned literals).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered key-value mapping.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A (de)serialization failure: a human-readable message, possibly prefixed
+/// with the path of fields that led to it.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// The `Value` tree representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from the [`Value`] data model, validating as it goes.
+pub trait Deserialize: Sized {
+    /// Parses `v`, reporting a descriptive [`Error`] on shape mismatches.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n).map_err(|_| {
+                        Error::custom(format!("integer {n} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::custom(format!(
+                "expected 2-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(Error::custom(format!(
+                "expected 3-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impl-generation helpers and macros
+// ---------------------------------------------------------------------------
+
+/// Extracts `name` from an object value and deserializes it, prefixing
+/// errors with the field name.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    let f = v
+        .get(name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))?;
+    T::from_value(f).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+}
+
+/// Splits an enum encoding into `(variant tag, body)`.
+///
+/// Unit variants encode as a bare string; variants with fields encode as a
+/// single-entry object `{"Variant": {..fields..}}`.
+pub fn enum_parts(v: &Value) -> Result<(&str, &Value), Error> {
+    match v {
+        Value::Str(s) => Ok((s.as_str(), &NULL)),
+        Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+        other => Err(Error::custom(format!(
+            "expected enum (string or single-key object), got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Generates `Serialize`/`Deserialize` for a plain struct with named fields.
+///
+/// Fields encode as an object keyed by field name. Expand this in the
+/// defining module; private fields are fine.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($name:ident { $($f:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($f).to_string(), $crate::Serialize::to_value(&self.$f)),)+
+                ])
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($name { $($f: $crate::field(v, stringify!($f))?,)+ })
+            }
+        }
+    };
+}
+
+/// Generates `Serialize`/`Deserialize` for a single-field tuple struct,
+/// encoding it transparently as the inner value.
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($name:ident($inner:ty)) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($name(<$inner as $crate::Deserialize>::from_value(v)?))
+            }
+        }
+    };
+}
+
+/// Generates `Serialize`/`Deserialize` for an enum whose variants are unit
+/// (`Variant`) or struct-like (`Variant { a, b }`).
+///
+/// Unit variants encode as `"Variant"`; struct variants as
+/// `{"Variant": {"a": .., "b": ..}}` — the same externally-tagged layout
+/// serde's derive produces.
+#[macro_export]
+macro_rules! impl_serde_enum {
+    ($name:ident { $($variant:ident $({ $($f:ident),+ $(,)? })?),+ $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $(
+                        $name::$variant $({ $($f),+ })? => {
+                            #[allow(unused_mut)]
+                            let mut fields: Vec<(String, $crate::Value)> = Vec::new();
+                            $($(
+                                fields.push((
+                                    stringify!($f).to_string(),
+                                    $crate::Serialize::to_value($f),
+                                ));
+                            )+)?
+                            if fields.is_empty() {
+                                $crate::Value::Str(stringify!($variant).to_string())
+                            } else {
+                                $crate::Value::Object(vec![(
+                                    stringify!($variant).to_string(),
+                                    $crate::Value::Object(fields),
+                                )])
+                            }
+                        }
+                    )+
+                }
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                let (tag, _body) = $crate::enum_parts(v)?;
+                match tag {
+                    $(
+                        stringify!($variant) => Ok($name::$variant $({
+                            $($f: $crate::field(_body, stringify!($f))?,)+
+                        })?),
+                    )+
+                    other => Err($crate::Error::custom(format!(
+                        concat!("unknown ", stringify!($name), " variant `{}`"),
+                        other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: u32,
+        y: i64,
+    }
+    impl_serde_struct!(Point { x, y });
+
+    #[derive(Debug, PartialEq)]
+    struct Wrapped(u8);
+    impl_serde_newtype!(Wrapped(u8));
+
+    #[derive(Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line { from: u32, to: u32 },
+    }
+    impl_serde_enum!(Shape {
+        Dot,
+        Line { from, to }
+    });
+
+    #[test]
+    fn struct_round_trip() {
+        let p = Point { x: 3, y: -9 };
+        assert_eq!(Point::from_value(&p.to_value()).unwrap(), p);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(Wrapped(7).to_value(), Value::UInt(7));
+        assert_eq!(Wrapped::from_value(&Value::UInt(7)).unwrap(), Wrapped(7));
+    }
+
+    #[test]
+    fn enum_round_trip() {
+        for s in [Shape::Dot, Shape::Line { from: 1, to: 2 }] {
+            let v = s.to_value();
+            assert_eq!(Shape::from_value(&v).unwrap(), s);
+        }
+        assert!(Shape::from_value(&Value::Str("Oval".into())).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let v = Value::Object(vec![("x".into(), Value::UInt(1))]);
+        let err = Point::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("missing field `y`"));
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let pair = (3u64, 4u64);
+        assert_eq!(<(u64, u64)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+}
