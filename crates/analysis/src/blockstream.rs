@@ -57,12 +57,13 @@ impl BlockStream {
     /// own pc rather than corrupting a neighbour's length.
     pub fn new(trace: &Trace, bbs: &BasicBlocks) -> BlockStream {
         let mut events: Vec<BlockEvent> = Vec::new();
-        for (k, rec) in trace.records().iter().enumerate() {
-            let block = bbs.block_of(rec.pc);
+        for (k, &raw) in trace.pcs().iter().enumerate() {
+            let pc = specmt_isa::Pc(raw);
+            let block = bbs.block_of(pc);
             match events.last_mut() {
-                Some(cur) if bbs.start(block) != rec.pc && cur.block == block => cur.len += 1,
+                Some(cur) if bbs.start(block) != pc && cur.block == block => cur.len += 1,
                 _ => {
-                    debug_assert_eq!(bbs.start(block), rec.pc, "mid-block entry in trace");
+                    debug_assert_eq!(bbs.start(block), pc, "mid-block entry in trace");
                     events.push(BlockEvent {
                         block,
                         len: 1,

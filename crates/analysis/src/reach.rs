@@ -37,9 +37,25 @@ pub struct PairStat {
 /// denominator, so probabilities are very slightly conservative near the end
 /// of the trace.
 ///
-/// Complexity: `O(events × tracked)` time, `O(tracked²)` space. Track only
-/// the blocks kept by [`DynCfg::prune_to_coverage`](crate::DynCfg) to keep
-/// both in hand — exactly why the paper prunes, too.
+/// Two implementations produce bit-identical results:
+///
+/// * [`ReachingAnalysis::compute`] — the production path. Open-window and
+///   credited-this-window state is held as packed `u64` words over the
+///   *sources*, so each event costs `O(tracked / 64)` word operations
+///   (`AND`/`ANDN` + trailing-zeros extraction of the newly credited bits)
+///   plus one unit of work per actual credit. Tracked sources are
+///   additionally sharded across [`std::thread::scope`] workers when the
+///   problem is large enough; each worker scans the stream once over its
+///   slice of sources.
+/// * [`ReachingAnalysis::compute_naive`] — the retained reference: the
+///   direct per-event scalar scan over every open source,
+///   `O(events × tracked)` time. The differential test suite pits the two
+///   against each other on random programs.
+///
+/// Space is `O(tracked²)` bits for window state plus the `O(tracked²)`
+/// counter matrices. Track only the blocks kept by
+/// [`DynCfg::prune_to_coverage`](crate::DynCfg) to keep both in hand —
+/// exactly why the paper prunes, too.
 ///
 /// # Examples
 ///
@@ -80,21 +96,102 @@ pub struct ReachingAnalysis {
 
 impl ReachingAnalysis {
     /// Measures reaching statistics for all ordered pairs of `tracked`
-    /// blocks over `stream`.
+    /// blocks over `stream` (the word-parallel production implementation;
+    /// see the type docs).
     ///
     /// # Panics
     ///
     /// Panics if `tracked` contains a block id outside the stream's
     /// decomposition or a duplicate.
     pub fn compute(stream: &BlockStream, tracked: &[BlockId]) -> ReachingAnalysis {
-        let num_blocks = stream.num_blocks();
-        let n = tracked.len();
-        let mut index_of = vec![-1i32; num_blocks];
-        for (dense, &b) in tracked.iter().enumerate() {
-            assert!((b as usize) < num_blocks, "tracked block out of range");
-            assert_eq!(index_of[b as usize], -1, "duplicate tracked block");
-            index_of[b as usize] = dense as i32;
+        let (index_of, n) = Self::dense_mapping(stream, tracked);
+
+        // Pre-filter the stream once: untracked events only advance the
+        // instruction counter, so fold them into precomputed cumulative
+        // offsets and hand the workers a dense (source-id, offset) list.
+        let mut events: Vec<(u32, u64)> = Vec::new();
+        let mut occurrences = vec![0u64; n];
+        let mut cum = 0u64;
+        for e in stream.events() {
+            let dense = index_of[e.block as usize];
+            if dense >= 0 {
+                events.push((dense as u32, cum));
+                occurrences[dense as usize] += 1;
+            }
+            cum += e.len as u64;
         }
+
+        let mut reach = vec![0u64; n * n];
+        let mut dist_sum = vec![0u64; n * n];
+
+        let words = n.div_ceil(64);
+        // Shard whole words of sources across workers. Sharding only pays
+        // once both dimensions are big; small problems run inline.
+        let threads = if n >= 192 && events.len() >= 1 << 13 {
+            std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .min(words)
+                .min(8)
+        } else {
+            1
+        };
+
+        if threads <= 1 {
+            Shard::new(0, words, n).scan(&events, &mut reach, &mut dist_sum);
+        } else {
+            let words_per = words.div_ceil(threads);
+            // Split the output matrices at shard boundaries so each worker
+            // writes its own rows without synchronisation.
+            let mut reach_slices: Vec<&mut [u64]> = Vec::with_capacity(threads);
+            let mut dist_slices: Vec<&mut [u64]> = Vec::with_capacity(threads);
+            let mut reach_rest: &mut [u64] = &mut reach;
+            let mut dist_rest: &mut [u64] = &mut dist_sum;
+            let mut bounds = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let w0 = (t * words_per).min(words);
+                let w1 = ((t + 1) * words_per).min(words);
+                let lo = (w0 * 64).min(n);
+                let hi = (w1 * 64).min(n);
+                bounds.push((w0, w1));
+                let (a, b) = reach_rest.split_at_mut((hi - lo) * n);
+                reach_slices.push(a);
+                reach_rest = b;
+                let (a, b) = dist_rest.split_at_mut((hi - lo) * n);
+                dist_slices.push(a);
+                dist_rest = b;
+            }
+            let events = &events;
+            std::thread::scope(|s| {
+                for (((w0, w1), r), d) in bounds
+                    .into_iter()
+                    .zip(reach_slices)
+                    .zip(dist_slices)
+                {
+                    s.spawn(move || Shard::new(w0, w1, n).scan(events, r, d));
+                }
+            });
+        }
+
+        ReachingAnalysis {
+            tracked: tracked.to_vec(),
+            index_of,
+            n,
+            reach,
+            dist_sum,
+            occurrences,
+        }
+    }
+
+    /// The retained scalar reference implementation: a per-event scan over
+    /// every open source window. `O(events × tracked)` time — kept for
+    /// differential testing and as the "before" baseline in the benchmark
+    /// suite; produces results bit-identical to [`ReachingAnalysis::compute`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ReachingAnalysis::compute`].
+    pub fn compute_naive(stream: &BlockStream, tracked: &[BlockId]) -> ReachingAnalysis {
+        let (index_of, n) = Self::dense_mapping(stream, tracked);
 
         let mut reach = vec![0u64; n * n];
         let mut dist_sum = vec![0u64; n * n];
@@ -130,6 +227,19 @@ impl ReachingAnalysis {
             dist_sum,
             occurrences,
         }
+    }
+
+    /// Builds the block-id → dense-index mapping shared by both
+    /// implementations, validating `tracked` along the way.
+    fn dense_mapping(stream: &BlockStream, tracked: &[BlockId]) -> (Vec<i32>, usize) {
+        let num_blocks = stream.num_blocks();
+        let mut index_of = vec![-1i32; num_blocks];
+        for (dense, &b) in tracked.iter().enumerate() {
+            assert!((b as usize) < num_blocks, "tracked block out of range");
+            assert_eq!(index_of[b as usize], -1, "duplicate tracked block");
+            index_of[b as usize] = dense as i32;
+        }
+        (index_of, tracked.len())
     }
 
     fn dense(&self, block: BlockId) -> Option<usize> {
@@ -205,6 +315,174 @@ impl ReachingAnalysis {
             }
         }
         out
+    }
+}
+
+/// One worker's slice of the word-parallel scan: it owns the whole-word
+/// range `[w0, w1)` of source bits (sources `w0 * 64 .. min(w1 * 64, n)`)
+/// and scans the full event stream once, maintaining window state only for
+/// its sources.
+///
+/// State layout (source bitsets use one `u64` word per 64 shard sources;
+/// destination bitsets one word per 64 tracked blocks):
+///
+/// * `open` — sources with an open window,
+/// * `credited[j]` — sources whose current window already credited
+///   destination `j` (the transpose of the naive path's per-source `seen`
+///   sets, restricted to the shard),
+/// * `seen[i]` — destinations credited by source `i`'s current window, so
+///   reopening a window un-credits in time proportional to the credits
+///   actually made instead of `O(n)`.
+///
+/// Per event `j` the shard computes `newly = open & !credited[j]` word by
+/// word and walks only the set bits via trailing-zeros — each set bit is a
+/// genuine `reach`/`dist_sum` increment, so total work beyond the word
+/// operations is bounded by the number of credits (which the naive path
+/// performs too). The two counters live interleaved in one scratch `cells`
+/// array (`[reach, dist]` pairs) so each credit touches a single cache
+/// line; the pairs are split into the output matrices once, at the end.
+struct Shard {
+    /// First source owned by this shard.
+    lo: usize,
+    /// Sources owned (shard-local indices are `0..count`).
+    count: usize,
+    /// Total tracked blocks (row length of the output matrices).
+    n: usize,
+    open: Vec<u64>,
+    win_start: Vec<u64>,
+    credited: Vec<u64>,
+    seen: Vec<u64>,
+}
+
+impl Shard {
+    fn new(w0: usize, w1: usize, n: usize) -> Shard {
+        let lo = (w0 * 64).min(n);
+        let hi = (w1 * 64).min(n);
+        let count = hi - lo;
+        let words = w1 - w0;
+        let dwords = n.div_ceil(64);
+        Shard {
+            lo,
+            count,
+            n,
+            open: vec![0; words],
+            win_start: vec![0; count],
+            credited: vec![0; n * words],
+            seen: vec![0; count * dwords],
+        }
+    }
+
+    /// Scans `events` (pre-filtered `(dense source id, cumulative
+    /// instructions)` pairs), accumulating into this shard's rows of the
+    /// `reach` / `dist_sum` matrices (`count * n` elements each).
+    fn scan(self, events: &[(u32, u64)], reach: &mut [u64], dist_sum: &mut [u64]) {
+        if self.count == 0 {
+            return;
+        }
+        debug_assert_eq!(reach.len(), self.count * self.n);
+        let mut cells = vec![[0u64; 2]; self.count * self.n];
+        if self.open.len() == 1 && self.n <= 64 {
+            self.scan_1x1(events, &mut cells);
+        } else {
+            self.scan_words(events, &mut cells);
+        }
+        for (k, &[r, d]) in cells.iter().enumerate() {
+            reach[k] = r;
+            dist_sum[k] = d;
+        }
+    }
+
+    /// The common case: the shard's sources fit one `u64` *and* there are at
+    /// most 64 destinations, so every bitset in play is a scalar word.
+    /// Un-crediting a reopened window is a branchless bit-clear sweep over
+    /// the (at most 64-word) credited array, which vectorises — so the
+    /// per-credit loop carries no bookkeeping at all. All hot state lives in
+    /// fixed 64-wide arrays indexed through `& 63` masks, keeping every
+    /// index provably in range so no bounds checks survive in the loop.
+    fn scan_1x1(self, events: &[(u32, u64)], cells: &mut [[u64; 2]]) {
+        let n = self.n;
+        let lo = self.lo;
+        let hi = lo + self.count;
+        let mut open = 0u64;
+        let mut credited = [0u64; 64];
+        let mut win_start = [0u64; 64];
+        let mut grid: Box<[[u64; 2]; 64 * 64]> = vec![[0u64; 2]; 64 * 64]
+            .into_boxed_slice()
+            .try_into()
+            .expect("fixed grid size");
+        for &(j, cum) in events {
+            debug_assert!((j as usize) < n);
+            let j = (j as usize) & 63;
+            // Credit every open shard source that has not yet seen `j`.
+            // `credited[j] | newly == credited[j] | open` because credited
+            // bits only ever belong to open sources.
+            let cw = credited[j];
+            let mut newly = open & !cw;
+            credited[j] = cw | open;
+            while newly != 0 {
+                let i = newly.trailing_zeros() as usize & 63;
+                newly &= newly - 1;
+                let cell = &mut grid[(i << 6) | j];
+                cell[0] += 1;
+                cell[1] += cum - win_start[i];
+            }
+            // If this shard owns `j` as a source, close its previous window
+            // and open a fresh one: un-credit it everywhere.
+            if (lo..hi).contains(&j) {
+                let i = (j - lo) & 63;
+                let bit = 1u64 << i;
+                for cred in credited[..n].iter_mut() {
+                    *cred &= !bit;
+                }
+                win_start[i] = cum;
+                open |= bit;
+            }
+        }
+        for i in 0..self.count {
+            for j in 0..n {
+                cells[i * n + j] = grid[(i << 6) | j];
+            }
+        }
+    }
+
+    /// The general kernel: any number of source words per shard and any
+    /// number of destinations.
+    fn scan_words(mut self, events: &[(u32, u64)], cells: &mut [[u64; 2]]) {
+        let n = self.n;
+        let words = self.open.len();
+        let dwords = n.div_ceil(64);
+        for &(j, cum) in events {
+            let j = j as usize;
+            let cred = &mut self.credited[j * words..(j + 1) * words];
+            for (w, (open_w, cred_w)) in self.open.iter().zip(cred.iter_mut()).enumerate() {
+                let mut newly = open_w & !*cred_w;
+                *cred_w |= newly;
+                while newly != 0 {
+                    let i = w * 64 + newly.trailing_zeros() as usize;
+                    newly &= newly - 1;
+                    let cell = &mut cells[i * n + j];
+                    cell[0] += 1;
+                    cell[1] += cum - self.win_start[i];
+                    self.seen[i * dwords + j / 64] |= 1u64 << (j % 64);
+                }
+            }
+            if (self.lo..self.lo + self.count).contains(&j) {
+                let i = j - self.lo;
+                let word = i / 64;
+                let bit = 1u64 << (i % 64);
+                for w in 0..dwords {
+                    let mut s = self.seen[i * dwords + w];
+                    self.seen[i * dwords + w] = 0;
+                    while s != 0 {
+                        let d = w * 64 + s.trailing_zeros() as usize;
+                        s &= s - 1;
+                        self.credited[d * words + word] &= !bit;
+                    }
+                }
+                self.win_start[i] = cum;
+                self.open[word] |= bit;
+            }
+        }
     }
 }
 
@@ -298,6 +576,64 @@ mod tests {
         assert!(!pairs
             .iter()
             .any(|p| p.sp_block == body && p.cqip_block == body));
+    }
+
+    /// The two implementations must agree exactly — counts, distances and
+    /// occurrences are integer state, so equality is bit-level.
+    fn assert_identical(a: &ReachingAnalysis, b: &ReachingAnalysis) {
+        assert_eq!(a.tracked, b.tracked);
+        assert_eq!(a.occurrences, b.occurrences);
+        assert_eq!(a.reach, b.reach);
+        assert_eq!(a.dist_sum, b.dist_sum);
+    }
+
+    #[test]
+    fn word_parallel_matches_naive_on_loops() {
+        for n in [1, 2, 7, 64, 200] {
+            let program = counted_loop(n);
+            let bbs = BasicBlocks::of(&program);
+            let trace = Trace::generate(program, 1_000_000).unwrap();
+            let stream = BlockStream::new(&trace, &bbs);
+            let all: Vec<BlockId> = (0..bbs.num_blocks() as BlockId).collect();
+            assert_identical(
+                &ReachingAnalysis::compute(&stream, &all),
+                &ReachingAnalysis::compute_naive(&stream, &all),
+            );
+        }
+    }
+
+    #[test]
+    fn word_parallel_matches_naive_across_shard_boundaries() {
+        // A chain of many small loops yields enough blocks to span several
+        // 64-bit source words, exercising the per-word credit masks (the
+        // sharded path itself needs >=192 sources and a long stream; the
+        // multi-word single-shard kernel is the same code).
+        let mut b = ProgramBuilder::new();
+        for k in 0..70 {
+            let top = b.fresh_label(&format!("top{k}"));
+            b.li(Reg::R1, 0);
+            b.li(Reg::R2, 3 + (k % 5));
+            b.bind(top);
+            b.addi(Reg::R1, Reg::R1, 1);
+            b.blt(Reg::R1, Reg::R2, top);
+        }
+        b.halt();
+        let program = b.build().unwrap();
+        let bbs = BasicBlocks::of(&program);
+        let trace = Trace::generate(program, 1_000_000).unwrap();
+        let stream = BlockStream::new(&trace, &bbs);
+        let all: Vec<BlockId> = (0..bbs.num_blocks() as BlockId).collect();
+        assert!(all.len() > 128, "want multiple source words, got {}", all.len());
+        assert_identical(
+            &ReachingAnalysis::compute(&stream, &all),
+            &ReachingAnalysis::compute_naive(&stream, &all),
+        );
+        // Tracking a sparse subset (every third block) must also agree.
+        let subset: Vec<BlockId> = all.iter().copied().step_by(3).collect();
+        assert_identical(
+            &ReachingAnalysis::compute(&stream, &subset),
+            &ReachingAnalysis::compute_naive(&stream, &subset),
+        );
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! End-to-end pipeline microbenchmarks: the word-parallel reaching
+//! analysis against its naive reference, trace generation, the disk-cached
+//! suite load, and a full paper-configuration simulation.
+//!
+//! Scale via `SPECMT_SCALE` (default medium is heavy for `cargo bench`;
+//! CI runs this at `tiny`). The `bench` binary measures the same kernels
+//! and persists `BENCH_pipeline.json` — this harness is for interactive
+//! `cargo bench` runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specmt::analysis::{BasicBlocks, BlockStream, ReachingAnalysis};
+use specmt::sim::SimConfig;
+use specmt::spawn::ProfileConfig;
+use specmt::trace::Trace;
+use specmt::workloads::{self, Scale};
+
+fn scale() -> Scale {
+    match std::env::var("SPECMT_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("medium") => Scale::Medium,
+        Ok("large") => Scale::Large,
+        _ => Scale::Small,
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scale = scale();
+    let w = workloads::gcc(scale);
+    let trace = Trace::generate(w.program.clone(), w.step_budget).expect("traces");
+    let bbs = BasicBlocks::of(trace.program());
+    let stream = BlockStream::new(&trace, &bbs);
+    let tracked: Vec<u32> = (0..bbs.num_blocks() as u32).collect();
+
+    c.bench_function("reach_word_parallel", |b| {
+        b.iter(|| ReachingAnalysis::compute(&stream, &tracked))
+    });
+    c.bench_function("reach_naive", |b| {
+        b.iter(|| ReachingAnalysis::compute_naive(&stream, &tracked))
+    });
+    c.bench_function("trace_generate_gcc", |b| {
+        b.iter(|| Trace::generate(w.program.clone(), w.step_budget).expect("traces"))
+    });
+
+    let bench = specmt::Bench::from_workload(workloads::gcc(scale)).expect("traces");
+    let table = bench.profile_table(&ProfileConfig::default()).table;
+    c.bench_function("sim_paper16_gcc", |b| {
+        b.iter(|| bench.run(SimConfig::paper(16), &table).expect("simulation"))
+    });
+
+    // Suite load through the disk cache: cold (fresh dir) vs warm. The
+    // private cache dir keeps `cargo bench` from polluting real runs.
+    let dir = std::env::temp_dir().join(format!("specmt-bench-cache-{}", std::process::id()));
+    std::env::set_var("SPECMT_CACHE_DIR", &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    c.bench_function("suite_load_cold", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            specmt_bench::Harness::load_at(scale).expect("suite loads")
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = specmt_bench::Harness::load_at(scale).expect("suite loads");
+    c.bench_function("suite_load_warm", |b| {
+        b.iter(|| specmt_bench::Harness::load_at(scale).expect("suite loads"))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::remove_var("SPECMT_CACHE_DIR");
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -10,30 +10,43 @@
 //! cargo run --release -p specmt-bench --bin ablations
 //! ```
 
+use std::process::ExitCode;
+
 use specmt::predict::ValuePredictorKind;
 use specmt::sim::SimConfig;
 use specmt::spawn::{memslice_pairs, MemSliceConfig, ProfileConfig};
 use specmt::stats::{harmonic_mean, Table};
-use specmt_bench::{best_profile_config, Harness};
+use specmt_bench::{best_profile_config, Harness, HarnessError};
 
-fn hmean_for(h: &Harness, cfg: &SimConfig, profile_cfg: Option<&ProfileConfig>) -> f64 {
-    let speedups: Vec<f64> = h
-        .benches
-        .iter()
-        .map(|ctx| {
-            let table = match profile_cfg {
-                None => ctx.profile.table.clone(),
-                Some(pc) => ctx.bench.profile_table(pc).table,
-            };
-            let r = ctx.bench.run(cfg.clone(), &table).expect("simulation");
-            ctx.bench.speedup(&r).expect("baseline simulation")
-        })
-        .collect();
-    harmonic_mean(&speedups)
+fn hmean_for(
+    h: &Harness,
+    cfg: &SimConfig,
+    profile_cfg: Option<&ProfileConfig>,
+) -> Result<f64, HarnessError> {
+    let mut speedups = Vec::new();
+    for ctx in &h.benches {
+        let table = match profile_cfg {
+            None => ctx.profile.table.clone(),
+            Some(pc) => ctx.bench.profile_table(pc).table,
+        };
+        let r = ctx.sim(cfg.clone(), &table)?;
+        speedups.push(ctx.speedup(&r)?);
+    }
+    Ok(harmonic_mean(&speedups))
 }
 
-fn main() {
-    let h = Harness::load();
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
+    let h = Harness::load()?;
     println!(
         "ablations at {:?} scale (hmean speed-up over the suite)\n",
         h.scale
@@ -49,7 +62,7 @@ fn main() {
         };
         t.row_owned(vec![
             format!("{p:.2}"),
-            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))),
+            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))?),
         ]);
     }
     println!("{}", t.render());
@@ -62,7 +75,7 @@ fn main() {
         };
         t.row_owned(vec![
             format!("{d}"),
-            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))),
+            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))?),
         ]);
     }
     println!("{}", t.render());
@@ -79,7 +92,7 @@ fn main() {
             } else {
                 "unbounded".into()
             },
-            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))),
+            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))?),
         ]);
     }
     println!("{}", t.render());
@@ -92,7 +105,7 @@ fn main() {
         };
         t.row_owned(vec![
             format!("{c:.2}"),
-            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))),
+            format!("{:.2}", hmean_for(&h, &base, Some(&cfg))?),
         ]);
     }
     println!("{}", t.render());
@@ -100,12 +113,12 @@ fn main() {
     // --- Hardware parameters --------------------------------------------
     let mut t = Table::new(&["thread units", "perfect", "stride"]);
     for tus in [2usize, 4, 8, 16, 32] {
-        let p = hmean_for(&h, &best_profile_config(tus), None);
+        let p = hmean_for(&h, &best_profile_config(tus), None)?;
         let s = hmean_for(
             &h,
             &best_profile_config(tus).with_value_predictor(ValuePredictorKind::Stride),
             None,
-        );
+        )?;
         t.row_owned(vec![format!("{tus}"), format!("{p:.2}"), format!("{s:.2}")]);
     }
     println!("{}", t.render());
@@ -117,11 +130,8 @@ fn main() {
         let mut speedups = Vec::new();
         let mut accs = Vec::new();
         for ctx in &h.benches {
-            let r = ctx
-                .bench
-                .run(cfg.clone(), &ctx.profile.table)
-                .expect("simulation");
-            speedups.push(ctx.bench.speedup(&r).expect("baseline simulation"));
+            let r = ctx.sim(cfg.clone(), &ctx.profile.table)?;
+            speedups.push(ctx.speedup(&r)?);
             accs.push(r.value_hit_ratio());
         }
         t.row_owned(vec![
@@ -143,8 +153,8 @@ fn main() {
         sc.forward_latency = fwd;
         t.row_owned(vec![
             format!("{fwd}"),
-            format!("{:.2}", hmean_for(&h, &pc, None)),
-            format!("{:.2}", hmean_for(&h, &sc, None)),
+            format!("{:.2}", hmean_for(&h, &pc, None)?),
+            format!("{:.2}", hmean_for(&h, &sc, None)?),
         ]);
     }
     println!("{}", t.render());
@@ -163,11 +173,8 @@ fn main() {
         let mut speedups = Vec::new();
         let mut accs = Vec::new();
         for ctx in &h.benches {
-            let r = ctx
-                .bench
-                .run(cfg.clone(), &ctx.profile.table)
-                .expect("simulation");
-            speedups.push(ctx.bench.speedup(&r).expect("baseline simulation"));
+            let r = ctx.sim(cfg.clone(), &ctx.profile.table)?;
+            speedups.push(ctx.speedup(&r)?);
             accs.push(r.value_hit_ratio());
         }
         t.row_owned(vec![
@@ -186,14 +193,15 @@ fn main() {
     let mut cols = [Vec::new(), Vec::new(), Vec::new()];
     for ctx in &h.benches {
         let mem_table = memslice_pairs(ctx.bench.trace(), &MemSliceConfig::default());
-        let sp = |table| {
-            let r = ctx
-                .bench
-                .run(best_profile_config(16), table)
-                .expect("simulation");
-            ctx.bench.speedup(&r).expect("baseline simulation")
+        let sp = |table| -> Result<f64, HarnessError> {
+            let r = ctx.sim(best_profile_config(16), table)?;
+            ctx.speedup(&r)
         };
-        let vals = [sp(&ctx.profile.table), sp(&ctx.heuristics), sp(&mem_table)];
+        let vals = [
+            sp(&ctx.profile.table)?,
+            sp(&ctx.heuristics)?,
+            sp(&mem_table)?,
+        ];
         for (c, v) in cols.iter_mut().zip(vals) {
             c.push(v);
         }
@@ -212,4 +220,5 @@ fn main() {
     ]);
     println!("{}", t.render());
     println!("(all three policies run with the minimum-size mechanism enabled)");
+    Ok(())
 }

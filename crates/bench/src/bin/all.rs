@@ -1,19 +1,39 @@
 //! Regenerates every figure of the paper's evaluation section and persists
 //! machine-readable results under `target/specmt-results/`.
+//!
+//! The suite is loaded once and shared by all figures; with a warm disk
+//! cache (`target/specmt-cache/`) the load step skips trace generation,
+//! profiling and the baseline simulations entirely.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let start = std::time::Instant::now();
-    let harness = specmt_bench::Harness::load();
+    let harness = match specmt_bench::Harness::load() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "suite loaded at {:?} scale in {:.1}s\n",
         harness.scale,
         start.elapsed().as_secs_f64()
     );
-    for fig in specmt_bench::figures::all(&harness) {
+    let figs = match specmt_bench::figures::all(&harness) {
+        Ok(figs) => figs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for fig in figs {
         fig.print();
         if let Err(e) = fig.save() {
             eprintln!("could not persist {}: {e}", fig.id);
         }
     }
     println!("total {:.1}s", start.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
 }

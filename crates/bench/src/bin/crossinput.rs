@@ -16,14 +16,26 @@
 //! cargo run --release -p specmt-bench --bin crossinput
 //! ```
 
+use std::process::ExitCode;
+
 use specmt::spawn::ProfileConfig;
 use specmt::stats::{harmonic_mean, Table};
 use specmt::workloads::{InputSet, SUITE_NAMES};
 use specmt::Bench;
 use specmt_bench::{best_profile_config, scale_from_env};
 
-fn main() {
-    let scale = scale_from_env();
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env()?;
     println!("cross-input validation at {scale:?} scale\n");
 
     let mut table = Table::new(&[
@@ -37,24 +49,22 @@ fn main() {
     let mut selfp = Vec::new();
     for name in SUITE_NAMES {
         let train = Bench::from_workload(
-            specmt::workloads::by_name_with_input(name, scale, InputSet::Train).expect("suite"),
-        )
-        .expect("train traces");
+            specmt::workloads::by_name_with_input(name, scale, InputSet::Train)
+                .ok_or_else(|| format!("unknown workload `{name}`"))?,
+        )?;
         let reference = Bench::from_workload(
-            specmt::workloads::by_name_with_input(name, scale, InputSet::Ref).expect("suite"),
-        )
-        .expect("ref traces");
+            specmt::workloads::by_name_with_input(name, scale, InputSet::Ref)
+                .ok_or_else(|| format!("unknown workload `{name}`"))?,
+        )?;
 
         let train_pairs = train.profile_table(&ProfileConfig::default()).table;
         let ref_pairs = reference.profile_table(&ProfileConfig::default()).table;
 
         let cfg = best_profile_config(16);
-        let r_train = reference
-            .run(cfg.clone(), &train_pairs)
-            .expect("simulation");
-        let r_self = reference.run(cfg, &ref_pairs).expect("simulation");
-        let with_train = reference.speedup(&r_train).expect("baseline simulation");
-        let with_self = reference.speedup(&r_self).expect("baseline simulation");
+        let r_train = reference.run(cfg.clone(), &train_pairs)?;
+        let r_self = reference.run(cfg, &ref_pairs)?;
+        let with_train = reference.speedup(&r_train)?;
+        let with_self = reference.speedup(&r_self)?;
         cross.push(with_train);
         selfp.push(with_self);
 
@@ -88,4 +98,5 @@ fn main() {
          on the reference input; overlap = training pairs also selected by a reference\n\
          profile. High transfer validates the paper's profile-once methodology."
     );
+    Ok(())
 }

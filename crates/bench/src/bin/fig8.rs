@@ -1,11 +1,26 @@
 //! Regenerates the paper's Figure 8 on the synthetic suite.
 
-fn main() {
-    let harness = specmt_bench::Harness::load();
-    let fig = specmt_bench::figures::fig8(&harness);
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let harness = match specmt_bench::Harness::load() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fig = match specmt_bench::figures::fig8(&harness) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     fig.print();
     match fig.save() {
         Ok(path) => println!("results written to {}", path.display()),
         Err(e) => eprintln!("could not persist results: {e}"),
     }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,178 @@
+//! Persistent content-addressed cache for the trace → analysis pipeline.
+//!
+//! Every `fig*` binary starts by loading the whole suite: generate eight
+//! traces, profile each one, and simulate each single-threaded baseline.
+//! Within one process [`crate::Harness`] does that exactly once, but the 18
+//! binaries are separate processes, so without a disk cache the identical
+//! work is redone 18 times. This module memoizes the expensive products —
+//! the trace (in the `SMTR` binary format), the default profile result, the
+//! heuristic table, and the baseline cycle count — under
+//! `target/specmt-cache/`.
+//!
+//! ## Keying and invalidation
+//!
+//! An entry's file stem is `<name>-<scale>-<hash>`, where the hash is
+//! FNV-1a over the workload's *program JSON*, its step budget and expected
+//! checksum, and the crate version. Any change to a workload's program,
+//! to the generator parameters behind it, or a version bump therefore
+//! misses cleanly instead of serving stale results. Analysis-parameter
+//! changes (e.g. `ProfileConfig` defaults) are covered by the version
+//! component: bump the workspace version when changing them.
+//!
+//! ## Trust model
+//!
+//! Cache entries are never trusted: the trace is structurally re-validated
+//! and must reproduce the workload's expected checksum
+//! ([`specmt::Bench::from_cached`]), and the metadata must parse. Any
+//! failure — truncation, corruption, a stale key collision — is treated as
+//! a miss and the entry is regenerated. Writes go through a temp file +
+//! rename so a crashed process cannot leave a torn entry behind.
+//!
+//! Set `SPECMT_CACHE=off` to bypass the cache entirely, or
+//! `SPECMT_CACHE_DIR` to relocate it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use specmt::spawn::{ProfileResult, SpawnTable};
+use specmt::trace::Trace;
+use specmt::workloads::{Scale, Workload};
+use specmt::Bench;
+
+/// Whether the persistent cache is enabled (`SPECMT_CACHE` not `off`/`0`).
+pub fn enabled() -> bool {
+    !matches!(
+        std::env::var("SPECMT_CACHE").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
+/// The cache directory: `SPECMT_CACHE_DIR` or `target/specmt-cache`
+/// relative to the working directory.
+pub fn dir() -> PathBuf {
+    match std::env::var("SPECMT_CACHE_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from("target/specmt-cache"),
+    }
+}
+
+/// Everything one cache entry restores.
+#[derive(Debug)]
+pub(crate) struct CachedParts {
+    pub bench: Bench,
+    pub profile: ProfileResult,
+    pub heuristics: SpawnTable,
+}
+
+/// The sidecar metadata stored next to the binary trace.
+struct Meta {
+    baseline: u64,
+    profile: ProfileResult,
+    heuristics: SpawnTable,
+}
+
+serde::impl_serde_struct!(Meta {
+    baseline,
+    profile,
+    heuristics,
+});
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(h, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Content hash of everything that determines the pipeline's products.
+fn entry_stem(workload: &Workload, scale: Scale) -> Option<String> {
+    let program_json = serde_json::to_vec(&workload.program).ok()?;
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    h = fnv1a(h, &program_json);
+    h = fnv1a(h, &workload.step_budget.to_le_bytes());
+    h = fnv1a(h, &workload.expected_checksum.to_le_bytes());
+    h = fnv1a(h, env!("CARGO_PKG_VERSION").as_bytes());
+    Some(format!(
+        "{}-{}-{h:016x}",
+        workload.name,
+        format!("{scale:?}").to_lowercase()
+    ))
+}
+
+/// Loads a cache entry, returning the workload back on any miss.
+///
+/// A miss is silent by design: unreadable, truncated, corrupted or stale
+/// entries all fall through to regeneration.
+pub(crate) fn load(workload: Workload, scale: Scale) -> Result<CachedParts, Workload> {
+    if !enabled() {
+        return Err(workload);
+    }
+    let Some(stem) = entry_stem(&workload, scale) else {
+        return Err(workload);
+    };
+    let dir = dir();
+    let parsed = (|| {
+        let bytes = fs::read(dir.join(format!("{stem}.trace"))).ok()?;
+        let trace = Trace::read_from(&bytes[..]).ok()?;
+        let meta_text = fs::read_to_string(dir.join(format!("{stem}.meta.json"))).ok()?;
+        let meta: Meta = serde_json::from_str(&meta_text).ok()?;
+        Some((trace, meta))
+    })();
+    let Some((trace, meta)) = parsed else {
+        return Err(workload);
+    };
+    // `from_cached` re-validates the trace and its checksum; a failure
+    // means the entry is corrupt or stale, so fall back to regeneration.
+    match Bench::from_cached(workload.clone(), trace, Some(meta.baseline)) {
+        Ok(bench) => Ok(CachedParts {
+            bench,
+            profile: meta.profile,
+            heuristics: meta.heuristics,
+        }),
+        Err(_) => Err(workload),
+    }
+}
+
+/// Persists one fully-built entry. Best-effort: any I/O failure leaves the
+/// cache cold but the in-process results intact.
+pub(crate) fn store(
+    bench: &Bench,
+    scale: Scale,
+    baseline: u64,
+    profile: &ProfileResult,
+    heuristics: &SpawnTable,
+) {
+    if !enabled() {
+        return;
+    }
+    let Some(stem) = entry_stem(bench.workload(), scale) else {
+        return;
+    };
+    let dir = dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let meta = Meta {
+        baseline,
+        profile: profile.clone(),
+        heuristics: heuristics.clone(),
+    };
+    let Ok(meta_json) = serde_json::to_string_pretty(&meta) else {
+        return;
+    };
+    let mut trace_bytes = Vec::new();
+    if bench.trace().write_to(&mut trace_bytes).is_err() {
+        return;
+    }
+    // Temp file + rename so concurrent readers never see a torn entry.
+    // The pid suffix keeps concurrent writers (parallel suite load) from
+    // clobbering each other's temp files.
+    let pid = std::process::id();
+    for (ext, bytes) in [("trace", trace_bytes.as_slice()), ("meta.json", meta_json.as_bytes())] {
+        let tmp = dir.join(format!("{stem}.{ext}.tmp{pid}"));
+        let fin = dir.join(format!("{stem}.{ext}"));
+        if fs::write(&tmp, bytes).is_err() || fs::rename(&tmp, &fin).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+    }
+}

@@ -4,15 +4,18 @@
 //! [`Figure`] carrying both the rendered table and machine-readable JSON.
 //! Paper reference values quoted in the notes come from §4 of Marcuello &
 //! González (HPCA 2002).
+//!
+//! All functions take the already-loaded [`Harness`] — they never regenerate
+//! traces or profile tables themselves, so running every figure in one
+//! process (the `all` binary) does the expensive pipeline work exactly once.
 
 use serde_json::json;
 
 use specmt::predict::ValuePredictorKind;
 use specmt::sim::{RemovalPolicy, SimConfig};
-use specmt::spawn::{OrderCriterion, ProfileConfig};
 use specmt::stats::{arithmetic_mean, harmonic_mean, Table};
 
-use crate::{best_profile_config, f2, pct, standard_removal, Figure, Harness};
+use crate::{best_profile_config, f2, pct, standard_removal, Figure, Harness, HarnessError};
 
 fn hmean_of(rows: &[(&'static str, f64, specmt::sim::SimResult)]) -> f64 {
     harmonic_mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())
@@ -20,7 +23,11 @@ fn hmean_of(rows: &[(&'static str, f64, specmt::sim::SimResult)]) -> f64 {
 
 /// Figure 2: number of selected basic-block pairs and number of distinct
 /// spawning points per benchmark.
-pub fn fig2(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// Returns the first benchmark's simulation failure, if any.
+pub fn fig2(h: &Harness) -> Result<Figure, HarnessError> {
     let mut table = Table::new(&[
         "bench",
         "selected pairs",
@@ -55,7 +62,7 @@ pub fn fig2(h: &Harness) -> Figure {
         f2(arithmetic_mean(&pairs)),
         f2(arithmetic_mean(&sps)),
     ]);
-    Figure {
+    Ok(Figure {
         id: "fig2",
         title: "Selected spawning pairs (min prob 0.95, min distance 32)".into(),
         table,
@@ -64,20 +71,24 @@ pub fn fig2(h: &Harness) -> Figure {
             "have orders of magnitude more hot basic blocks than the synthetic suite.".into(),
         ],
         json: json!({"rows": json_rows}),
-    }
+    })
 }
 
 /// Figure 3: speed-up over single-threaded execution, 16 thread units,
 /// profile-based policy, perfect value prediction.
-pub fn fig3(h: &Harness) -> Figure {
-    let rows = h.run_profile(&SimConfig::paper(16));
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig3(h: &Harness) -> Result<Figure, HarnessError> {
+    let rows = h.run_profile(&SimConfig::paper(16))?;
     let mut table = Table::new(&["bench", "speed-up"]);
     for (name, sp, _) in &rows {
         table.row_owned(vec![(*name).into(), f2(*sp)]);
     }
     let hm = hmean_of(&rows);
     table.row_owned(vec!["Hmean".into(), f2(hm)]);
-    Figure {
+    Ok(Figure {
         id: "fig3",
         title: "Speed-up, 16 TUs, profile-based spawning, perfect value prediction".into(),
         table,
@@ -86,12 +97,16 @@ pub fn fig3(h: &Harness) -> Figure {
             f2(hm)
         )],
         json: json!({"speedups": rows.iter().map(|(n, s, _)| json!({"bench": n, "speedup": s})).collect::<Vec<_>>(), "hmean": hm}),
-    }
+    })
 }
 
 /// Figure 4: average number of active threads for the Figure 3 runs.
-pub fn fig4(h: &Harness) -> Figure {
-    let rows = h.run_profile(&SimConfig::paper(16));
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig4(h: &Harness) -> Result<Figure, HarnessError> {
+    let rows = h.run_profile(&SimConfig::paper(16))?;
     let mut table = Table::new(&["bench", "active threads"]);
     let mut acts = Vec::new();
     for (name, _, r) in &rows {
@@ -101,21 +116,25 @@ pub fn fig4(h: &Harness) -> Figure {
     }
     let am = arithmetic_mean(&acts);
     table.row_owned(vec!["Amean".into(), f2(am)]);
-    Figure {
+    Ok(Figure {
         id: "fig4",
         title: "Average active threads, 16 TUs, profile-based spawning".into(),
-        table,
         notes: vec![format!(
             "Paper: Amean 7.5, ijpeg 9.0. Measured Amean {}.",
             f2(am)
         )],
+        table,
         json: json!({"active": rows.iter().map(|(n, _, r)| json!({"bench": n, "active": r.avg_active_threads()})).collect::<Vec<_>>(), "amean": am}),
-    }
+    })
 }
 
 /// Figure 5a: spawning-pair removal after executing alone — never, 50
 /// cycles, 200 cycles (first occurrence removes, the paper's protocol).
-pub fn fig5a(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig5a(h: &Harness) -> Result<Figure, HarnessError> {
     let configs: [(&str, Option<u64>); 3] = [
         ("no removal", None),
         ("removal 50", Some(50)),
@@ -135,8 +154,8 @@ pub fn fig5a(h: &Harness) -> Figure {
                     max_companions: 0,
                 });
             }
-            let r = ctx.bench.run(cfg, &ctx.profile.table).expect("simulation");
-            let sp = ctx.bench.speedup(&r).expect("baseline simulation");
+            let r = ctx.sim(cfg, &ctx.profile.table)?;
+            let sp = ctx.speedup(&r)?;
             series[i].push(sp);
             cells.push(f2(sp));
         }
@@ -148,7 +167,7 @@ pub fn fig5a(h: &Harness) -> Figure {
             .chain(hmeans.iter().map(|&v| f2(v)))
             .collect(),
     );
-    Figure {
+    Ok(Figure {
         id: "fig5a",
         title: "Pair removal after executing alone (1 occurrence removes)".into(),
         table,
@@ -158,11 +177,15 @@ pub fn fig5a(h: &Harness) -> Figure {
             "removal collapses more benchmarks — Figure 5b's delayed removal recovers them.".into(),
         ],
         json: json!({"hmeans": {"none": hmeans[0], "alone50": hmeans[1], "alone200": hmeans[2]}}),
-    }
+    })
 }
 
 /// Figure 5b: delaying removal until 1/8/16 occurrences (50-cycle scheme).
-pub fn fig5b(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig5b(h: &Harness) -> Result<Figure, HarnessError> {
     let occs = [1u32, 8, 16];
     let mut table = Table::new(&["bench", "1 occurrence", "8 occurrences", "16 occurrences"]);
     let mut series = vec![Vec::new(); 3];
@@ -175,8 +198,8 @@ pub fn fig5b(h: &Harness) -> Figure {
                 reinstate_after: None,
                 max_companions: 0,
             });
-            let r = ctx.bench.run(cfg, &ctx.profile.table).expect("simulation");
-            let sp = ctx.bench.speedup(&r).expect("baseline simulation");
+            let r = ctx.sim(cfg, &ctx.profile.table)?;
+            let sp = ctx.speedup(&r)?;
             series[i].push(sp);
             cells.push(f2(sp));
         }
@@ -188,7 +211,7 @@ pub fn fig5b(h: &Harness) -> Figure {
             .chain(hmeans.iter().map(|&v| f2(v)))
             .collect(),
     );
-    Figure {
+    Ok(Figure {
         id: "fig5b",
         title: "Delayed pair removal: occurrences before cancelling (50-cycle scheme)".into(),
         table,
@@ -197,12 +220,16 @@ pub fn fig5b(h: &Harness) -> Figure {
             "Measured: the delay rescues every benchmark that collapsed at 1 occurrence.".into(),
         ],
         json: json!({"hmeans": {"occ1": hmeans[0], "occ8": hmeans[1], "occ16": hmeans[2]}}),
-    }
+    })
 }
 
 /// Figure 6: the reassign policy (fall back to the next CQIP) compared with
 /// the standard removal scheme.
-pub fn fig6(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig6(h: &Harness) -> Result<Figure, HarnessError> {
     let mut table = Table::new(&["bench", "removal", "reassign"]);
     let mut a = Vec::new();
     let mut b = Vec::new();
@@ -210,17 +237,17 @@ pub fn fig6(h: &Harness) -> Figure {
         let base_cfg = SimConfig::paper(16).with_removal(standard_removal(ctx.bench.name()));
         let mut re_cfg = base_cfg.clone();
         re_cfg.reassign = true;
-        let r1 = ctx.bench.run(base_cfg, &ctx.profile.table).expect("simulation");
-        let r2 = ctx.bench.run(re_cfg, &ctx.profile.table).expect("simulation");
-        let s1 = ctx.bench.speedup(&r1).expect("baseline simulation");
-        let s2 = ctx.bench.speedup(&r2).expect("baseline simulation");
+        let r1 = ctx.sim(base_cfg, &ctx.profile.table)?;
+        let r2 = ctx.sim(re_cfg, &ctx.profile.table)?;
+        let s1 = ctx.speedup(&r1)?;
+        let s2 = ctx.speedup(&r2)?;
         a.push(s1);
         b.push(s2);
         table.row_owned(vec![ctx.bench.name().into(), f2(s1), f2(s2)]);
     }
     let (h1, h2) = (harmonic_mean(&a), harmonic_mean(&b));
     table.row_owned(vec!["Hmean".into(), f2(h1), f2(h2)]);
-    Figure {
+    Ok(Figure {
         id: "fig6",
         title: "Reassign policy vs the 50-cycle removal scheme (200 for compress)".into(),
         table,
@@ -230,18 +257,22 @@ pub fn fig6(h: &Harness) -> Figure {
             f2(h2)
         )],
         json: json!({"removal": h1, "reassign": h2}),
-    }
+    })
 }
 
 /// Figure 7a: average committed thread size under the standard removal
 /// scheme.
-pub fn fig7a(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig7a(h: &Harness) -> Result<Figure, HarnessError> {
     let mut table = Table::new(&["bench", "mean size", "median size"]);
     let mut sizes = Vec::new();
     let mut medians = Vec::new();
     for ctx in &h.benches {
         let cfg = SimConfig::paper(16).with_removal(standard_removal(ctx.bench.name()));
-        let r = ctx.bench.run(cfg, &ctx.profile.table).expect("simulation");
+        let r = ctx.sim(cfg, &ctx.profile.table)?;
         let s = r.avg_thread_size();
         let m = r.median_thread_size();
         sizes.push(s);
@@ -251,7 +282,7 @@ pub fn fig7a(h: &Harness) -> Figure {
     let am = arithmetic_mean(&sizes);
     let md = arithmetic_mean(&medians);
     table.row_owned(vec!["Amean".into(), f2(am), f2(md)]);
-    Figure {
+    Ok(Figure {
         id: "fig7a",
         title: "Committed thread size (instructions), standard removal".into(),
         table,
@@ -261,7 +292,7 @@ pub fn fig7a(h: &Harness) -> Figure {
             "it here too; the mean is skewed by a few giant threads.".into(),
         ],
         json: json!({"amean": am, "median_amean": md, "sizes": sizes, "medians": medians}),
-    }
+    })
 }
 
 /// Figure 7b: enforcing a minimum observed thread size of 32.
@@ -270,24 +301,28 @@ pub fn fig7a(h: &Harness) -> Figure {
 /// scheme; with our small pair tables the two removal mechanisms compound
 /// destructively, so the minimum is applied to the base policy here (see
 /// EXPERIMENTS.md).
-pub fn fig7b(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig7b(h: &Harness) -> Result<Figure, HarnessError> {
     let mut table = Table::new(&["bench", "no minimum", "minimum 32"]);
     let mut a = Vec::new();
     let mut b = Vec::new();
     for ctx in &h.benches {
         let base_cfg = SimConfig::paper(16);
         let min_cfg = crate::with_min_size(base_cfg.clone());
-        let base = ctx.bench.run(base_cfg, &ctx.profile.table).expect("simulation");
-        let min = ctx.bench.run(min_cfg, &ctx.profile.table).expect("simulation");
-        let s1 = ctx.bench.speedup(&base).expect("baseline simulation");
-        let s2 = ctx.bench.speedup(&min).expect("baseline simulation");
+        let base = ctx.sim(base_cfg, &ctx.profile.table)?;
+        let min = ctx.sim(min_cfg, &ctx.profile.table)?;
+        let s1 = ctx.speedup(&base)?;
+        let s2 = ctx.speedup(&min)?;
         a.push(s1);
         b.push(s2);
         table.row_owned(vec![ctx.bench.name().into(), f2(s1), f2(s2)]);
     }
     let (h1, h2) = (harmonic_mean(&a), harmonic_mean(&b));
     table.row_owned(vec!["Hmean".into(), f2(h1), f2(h2)]);
-    Figure {
+    Ok(Figure {
         id: "fig7b",
         title: "Enforcing a minimum observed thread size of 32".into(),
         table,
@@ -298,14 +333,18 @@ pub fn fig7b(h: &Harness) -> Figure {
             (h2 / h1 - 1.0) * 100.0
         )],
         json: json!({"no_min": h1, "min32": h2}),
-    }
+    })
 }
 
 /// Figure 8: the profile-based policy (with its dynamic mechanisms) against
 /// the combined construct heuristics.
-pub fn fig8(h: &Harness) -> Figure {
-    let prof = h.run_with(&best_profile_config(16), |c| &c.profile.table);
-    let heur = h.run_heuristics(&SimConfig::paper(16));
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig8(h: &Harness) -> Result<Figure, HarnessError> {
+    let prof = h.run_with(&best_profile_config(16), |c| &c.profile.table)?;
+    let heur = h.run_heuristics(&SimConfig::paper(16))?;
     let mut table = Table::new(&["bench", "profile", "heuristics", "ratio"]);
     let mut ratios = Vec::new();
     for ((name, sp, _), (_, sh, _)) in prof.iter().zip(&heur) {
@@ -315,7 +354,7 @@ pub fn fig8(h: &Harness) -> Figure {
     }
     let (hp, hh) = (hmean_of(&prof), hmean_of(&heur));
     table.row_owned(vec!["Hmean".into(), f2(hp), f2(hh), f2(hp / hh)]);
-    Figure {
+    Ok(Figure {
         id: "fig8",
         title: "Profile-based policy vs combined heuristics (speed-up ratio)".into(),
         table,
@@ -324,12 +363,16 @@ pub fn fig8(h: &Harness) -> Figure {
             (hp / hh - 1.0) * 100.0
         )],
         json: json!({"profile": hp, "heuristics": hh, "ratios": ratios}),
-    }
+    })
 }
 
 /// Figure 9a: live-in value-prediction accuracy for stride and context
 /// (FCM) predictors under both spawning policies.
-pub fn fig9a(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig9a(h: &Harness) -> Result<Figure, HarnessError> {
     let kinds = [ValuePredictorKind::Stride, ValuePredictorKind::Fcm];
     let mut table = Table::new(&[
         "bench",
@@ -355,7 +398,7 @@ pub fn fig9a(h: &Harness) -> Figure {
                         &ctx.heuristics,
                     )
                 };
-                let r = ctx.bench.run(cfg, t).expect("simulation");
+                let r = ctx.sim(cfg, t)?;
                 vals.push(r.value_hit_ratio());
             }
         }
@@ -373,7 +416,7 @@ pub fn fig9a(h: &Harness) -> Figure {
             .chain(means.iter().map(|&v| pct(v)))
             .collect(),
     );
-    Figure {
+    Ok(Figure {
         id: "fig9a",
         title: "Value-prediction hit ratio (16 KB tables, thread live-ins only)".into(),
         table,
@@ -385,34 +428,38 @@ pub fn fig9a(h: &Harness) -> Figure {
             pct(means[3])
         )],
         json: json!({"amean": {"stride_profile": means[0], "fcm_profile": means[1], "stride_heur": means[2], "fcm_heur": means[3]}}),
-    }
+    })
 }
 
 /// Figure 9b: speed-ups with perfect vs stride value prediction, both
 /// policies.
-pub fn fig9b(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig9b(h: &Harness) -> Result<Figure, HarnessError> {
     type Runs = Vec<(&'static str, f64, specmt::sim::SimResult)>;
     let runs: Vec<(&str, Runs)> = vec![
         (
             "perfect+profile",
-            h.run_with(&best_profile_config(16), |c| &c.profile.table),
+            h.run_with(&best_profile_config(16), |c| &c.profile.table)?,
         ),
         (
             "stride+profile",
             h.run_with(
                 &best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride),
                 |c| &c.profile.table,
-            ),
+            )?,
         ),
         (
             "perfect+heuristics",
-            h.run_heuristics(&SimConfig::paper(16)),
+            h.run_heuristics(&SimConfig::paper(16))?,
         ),
         (
             "stride+heuristics",
             h.run_heuristics(
                 &SimConfig::paper(16).with_value_predictor(ValuePredictorKind::Stride),
-            ),
+            )?,
         ),
     ];
     let mut table = Table::new(&[
@@ -435,7 +482,7 @@ pub fn fig9b(h: &Harness) -> Figure {
             .chain(hmeans.iter().map(|&v| f2(v)))
             .collect(),
     );
-    Figure {
+    Ok(Figure {
         id: "fig9b",
         title: "Speed-ups with a realistic stride value predictor".into(),
         table,
@@ -454,28 +501,20 @@ pub fn fig9b(h: &Harness) -> Figure {
             ),
         ],
         json: json!({"hmeans": {"perfect_profile": hmeans[0], "stride_profile": hmeans[1], "perfect_heur": hmeans[2], "stride_heur": hmeans[3]}}),
-    }
-}
-
-fn criterion_tables(h: &Harness, criterion: OrderCriterion) -> Vec<specmt::spawn::SpawnTable> {
-    h.benches
-        .iter()
-        .map(|ctx| {
-            ctx.bench
-                .profile_table(&ProfileConfig {
-                    criterion,
-                    ..ProfileConfig::default()
-                })
-                .table
-        })
-        .collect()
+    })
 }
 
 /// Figure 10a: prediction accuracy when CQIPs are chosen by the
 /// *independent* / *predictable* criteria.
-pub fn fig10a(h: &Harness) -> Figure {
-    let indep = criterion_tables(h, OrderCriterion::Independent);
-    let pred = criterion_tables(h, OrderCriterion::Predictable);
+///
+/// The alternative-criterion tables come from
+/// [`crate::BenchCtx::criterion_tables`], so fig10a and fig10b share one
+/// computation per process.
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig10a(h: &Harness) -> Result<Figure, HarnessError> {
     let kinds = [ValuePredictorKind::Stride, ValuePredictorKind::Fcm];
     let mut table = Table::new(&[
         "bench",
@@ -485,13 +524,13 @@ pub fn fig10a(h: &Harness) -> Figure {
         "fcm+pred",
     ]);
     let mut sums = vec![Vec::new(); 4];
-    for (i, ctx) in h.benches.iter().enumerate() {
+    for ctx in &h.benches {
         let mut cells = vec![ctx.bench.name().to_string()];
         let mut col = 0;
-        for tables in [&indep, &pred] {
+        for t in ctx.criterion_tables() {
             for kind in kinds {
                 let cfg = best_profile_config(16).with_value_predictor(kind);
-                let r = ctx.bench.run(cfg, &tables[i]).expect("simulation");
+                let r = ctx.sim(cfg, t)?;
                 let v = r.value_hit_ratio();
                 sums[col].push(v);
                 cells.push(pct(v));
@@ -506,7 +545,7 @@ pub fn fig10a(h: &Harness) -> Figure {
             .chain(means.iter().map(|&v| pct(v)))
             .collect(),
     );
-    Figure {
+    Ok(Figure {
         id: "fig10a",
         title: "Prediction accuracy for the independent / predictable CQIP criteria".into(),
         table,
@@ -514,24 +553,27 @@ pub fn fig10a(h: &Harness) -> Figure {
             "Paper: the predictable-oriented policy reaches the best hit ratio (~75%).".into(),
         ],
         json: json!({"amean": {"stride_indep": means[0], "fcm_indep": means[1], "stride_pred": means[2], "fcm_pred": means[3]}}),
-    }
+    })
 }
 
 /// Figure 10b: speed-ups of the independent / predictable criteria with a
 /// stride predictor.
-pub fn fig10b(h: &Harness) -> Figure {
-    let indep = criterion_tables(h, OrderCriterion::Independent);
-    let pred = criterion_tables(h, OrderCriterion::Predictable);
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig10b(h: &Harness) -> Result<Figure, HarnessError> {
     let cfg = best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride);
     let mut table = Table::new(&["bench", "max-distance", "independent", "predictable"]);
     let mut sums = vec![Vec::new(); 3];
-    for (i, ctx) in h.benches.iter().enumerate() {
-        let r0 = ctx.bench.run(cfg.clone(), &ctx.profile.table).expect("simulation");
-        let r1 = ctx.bench.run(cfg.clone(), &indep[i]).expect("simulation");
-        let r2 = ctx.bench.run(cfg.clone(), &pred[i]).expect("simulation");
-        let s0 = ctx.bench.speedup(&r0).expect("baseline simulation");
-        let s1 = ctx.bench.speedup(&r1).expect("baseline simulation");
-        let s2 = ctx.bench.speedup(&r2).expect("baseline simulation");
+    for ctx in &h.benches {
+        let [indep, pred] = ctx.criterion_tables();
+        let r0 = ctx.sim(cfg.clone(), &ctx.profile.table)?;
+        let r1 = ctx.sim(cfg.clone(), indep)?;
+        let r2 = ctx.sim(cfg.clone(), pred)?;
+        let s0 = ctx.speedup(&r0)?;
+        let s1 = ctx.speedup(&r1)?;
+        let s2 = ctx.speedup(&r2)?;
         for (v, s) in sums.iter_mut().zip([s0, s1, s2]) {
             v.push(s);
         }
@@ -543,7 +585,7 @@ pub fn fig10b(h: &Harness) -> Figure {
             .chain(hmeans.iter().map(|&v| f2(v)))
             .collect(),
     );
-    Figure {
+    Ok(Figure {
         id: "fig10b",
         title: "Speed-up of the independent / predictable criteria (stride predictor)".into(),
         table,
@@ -553,12 +595,16 @@ pub fn fig10b(h: &Harness) -> Figure {
             (hmeans[2] / hmeans[0] - 1.0) * 100.0
         )],
         json: json!({"hmeans": {"max_distance": hmeans[0], "independent": hmeans[1], "predictable": hmeans[2]}}),
-    }
+    })
 }
 
 /// Figure 11: slow-down from an 8-cycle thread-initialisation overhead
 /// (stride predictor).
-pub fn fig11(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig11(h: &Harness) -> Result<Figure, HarnessError> {
     let mut table = Table::new(&[
         "bench",
         "profile (stride)",
@@ -568,26 +614,22 @@ pub fn fig11(h: &Harness) -> Figure {
     ]);
     let mut sums = vec![Vec::new(); 4];
     for ctx in &h.benches {
-        let slow = |cfg: SimConfig, t: &specmt::spawn::SpawnTable| {
-            let c0 = ctx.bench.run(cfg.clone(), t).expect("simulation").cycles as f64;
-            let c8 = ctx
-                .bench
-                .run(cfg.with_init_overhead(8), t)
-                .expect("simulation")
-                .cycles as f64;
-            1.0 - c0 / c8
+        let slow = |cfg: SimConfig, t: &specmt::spawn::SpawnTable| -> Result<f64, HarnessError> {
+            let c0 = ctx.sim(cfg.clone(), t)?.cycles as f64;
+            let c8 = ctx.sim(cfg.with_init_overhead(8), t)?.cycles as f64;
+            Ok(1.0 - c0 / c8)
         };
         let vals = [
             slow(
                 best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride),
                 &ctx.profile.table,
-            ),
+            )?,
             slow(
                 SimConfig::paper(16).with_value_predictor(ValuePredictorKind::Stride),
                 &ctx.heuristics,
-            ),
-            slow(best_profile_config(16), &ctx.profile.table),
-            slow(SimConfig::paper(16), &ctx.heuristics),
+            )?,
+            slow(best_profile_config(16), &ctx.profile.table)?,
+            slow(SimConfig::paper(16), &ctx.heuristics)?,
         ];
         let mut cells = vec![ctx.bench.name().to_string()];
         for (s, v) in sums.iter_mut().zip(vals) {
@@ -602,7 +644,7 @@ pub fn fig11(h: &Harness) -> Figure {
             .chain(means.iter().map(|&v| pct(v)))
             .collect(),
     );
-    Figure {
+    Ok(Figure {
         id: "fig11",
         title: "Slow-down from an 8-cycle thread-initialisation overhead".into(),
         table,
@@ -620,60 +662,58 @@ pub fn fig11(h: &Harness) -> Figure {
             ),
         ],
         json: json!({"stride": {"profile": means[0], "heuristics": means[1]}, "perfect": {"profile": means[2], "heuristics": means[3]}}),
-    }
+    })
 }
 
 /// Figure 12: average speed-ups with 4 thread units.
-pub fn fig12(h: &Harness) -> Figure {
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig12(h: &Harness) -> Result<Figure, HarnessError> {
     let stride = ValuePredictorKind::Stride;
     let runs: Vec<(&str, f64)> = vec![
         (
             "profile/perfect",
-            hmean_of(&h.run_with(&best_profile_config(4), |c| &c.profile.table)),
+            hmean_of(&h.run_with(&best_profile_config(4), |c| &c.profile.table)?),
         ),
         (
             "profile/stride",
-            hmean_of(
-                &h.run_with(&best_profile_config(4).with_value_predictor(stride), |c| {
-                    &c.profile.table
-                }),
-            ),
+            hmean_of(&h.run_with(&best_profile_config(4).with_value_predictor(stride), |c| {
+                &c.profile.table
+            })?),
         ),
         (
             "profile/stride+ovh8",
-            hmean_of(
-                &h.run_with(
-                    &best_profile_config(4)
-                        .with_value_predictor(stride)
-                        .with_init_overhead(8),
-                    |c| &c.profile.table,
-                ),
-            ),
+            hmean_of(&h.run_with(
+                &best_profile_config(4)
+                    .with_value_predictor(stride)
+                    .with_init_overhead(8),
+                |c| &c.profile.table,
+            )?),
         ),
         (
             "heuristics/perfect",
-            hmean_of(&h.run_heuristics(&SimConfig::paper(4))),
+            hmean_of(&h.run_heuristics(&SimConfig::paper(4))?),
         ),
         (
             "heuristics/stride",
-            hmean_of(&h.run_heuristics(&SimConfig::paper(4).with_value_predictor(stride))),
+            hmean_of(&h.run_heuristics(&SimConfig::paper(4).with_value_predictor(stride))?),
         ),
         (
             "heuristics/stride+ovh8",
-            hmean_of(
-                &h.run_heuristics(
-                    &SimConfig::paper(4)
-                        .with_value_predictor(stride)
-                        .with_init_overhead(8),
-                ),
-            ),
+            hmean_of(&h.run_heuristics(
+                &SimConfig::paper(4)
+                    .with_value_predictor(stride)
+                    .with_init_overhead(8),
+            )?),
         ),
     ];
     let mut table = Table::new(&["configuration", "Hmean speed-up"]);
     for (name, v) in &runs {
         table.row_owned(vec![(*name).into(), f2(*v)]);
     }
-    Figure {
+    Ok(Figure {
         id: "fig12",
         title: "Average speed-ups with 4 thread units".into(),
         table,
@@ -686,26 +726,30 @@ pub fn fig12(h: &Harness) -> Figure {
             .iter()
             .map(|(n, v)| json!({"config": n, "hmean": v}))
             .collect::<Vec<_>>()),
-    }
+    })
 }
 
 /// Every figure, in paper order.
-pub fn all(h: &Harness) -> Vec<Figure> {
-    vec![
-        fig2(h),
-        fig3(h),
-        fig4(h),
-        fig5a(h),
-        fig5b(h),
-        fig6(h),
-        fig7a(h),
-        fig7b(h),
-        fig8(h),
-        fig9a(h),
-        fig9b(h),
-        fig10a(h),
-        fig10b(h),
-        fig12(h),
-        fig11(h),
-    ]
+///
+/// # Errors
+///
+/// The first figure's failure, if any.
+pub fn all(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
+    Ok(vec![
+        fig2(h)?,
+        fig3(h)?,
+        fig4(h)?,
+        fig5a(h)?,
+        fig5b(h)?,
+        fig6(h)?,
+        fig7a(h)?,
+        fig7b(h)?,
+        fig8(h)?,
+        fig9a(h)?,
+        fig9b(h)?,
+        fig10a(h)?,
+        fig10b(h)?,
+        fig12(h)?,
+        fig11(h)?,
+    ])
 }

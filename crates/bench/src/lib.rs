@@ -22,16 +22,68 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod figures;
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 use specmt::sim::{RemovalPolicy, SimConfig, SimResult};
-use specmt::spawn::{HeuristicSet, ProfileConfig, ProfileResult, SpawnTable};
+use specmt::spawn::{HeuristicSet, OrderCriterion, ProfileConfig, ProfileResult, SpawnTable};
 use specmt::stats::Table;
 use specmt::workloads::Scale;
-use specmt::Bench;
+use specmt::{Bench, BenchError};
+
+/// Errors from the experiment harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// `SPECMT_SCALE` held an unrecognised value.
+    Scale {
+        /// The offending value.
+        value: String,
+    },
+    /// A benchmark failed to load, trace, or simulate.
+    Bench {
+        /// The benchmark's name.
+        name: String,
+        /// The underlying failure.
+        source: BenchError,
+    },
+}
+
+impl HarnessError {
+    fn bench(name: impl Into<String>, source: BenchError) -> HarnessError {
+        HarnessError::Bench {
+            name: name.into(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Scale { value } => {
+                write!(
+                    f,
+                    "unknown SPECMT_SCALE `{value}` (expected tiny|small|medium|large)"
+                )
+            }
+            HarnessError::Bench { name, source } => write!(f, "benchmark `{name}`: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Bench { source, .. } => Some(source),
+            HarnessError::Scale { .. } => None,
+        }
+    }
+}
 
 /// One benchmark with everything the figures need precomputed.
 #[derive(Debug)]
@@ -42,6 +94,88 @@ pub struct BenchCtx {
     pub profile: ProfileResult,
     /// The combined construct heuristics (Figure 8's baseline).
     pub heuristics: SpawnTable,
+    /// Lazily-built spawn tables for the alternative CQIP ordering criteria
+    /// (`Independent`, `Predictable`) — computed once per process and shared
+    /// by every figure that needs them (10a and 10b).
+    criterion: OnceLock<[SpawnTable; 2]>,
+}
+
+impl BenchCtx {
+    fn new(bench: Bench, profile: ProfileResult, heuristics: SpawnTable) -> BenchCtx {
+        BenchCtx {
+            bench,
+            profile,
+            heuristics,
+            criterion: OnceLock::new(),
+        }
+    }
+
+    /// Loads one benchmark, consulting the disk cache first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Bench`] for an unknown name or a failed
+    /// trace/baseline build.
+    pub fn load(name: &'static str, scale: Scale) -> Result<BenchCtx, HarnessError> {
+        let workload = specmt::workloads::by_name(name, scale).ok_or_else(|| {
+            HarnessError::bench(
+                name,
+                BenchError::UnknownWorkload {
+                    name: name.to_owned(),
+                },
+            )
+        })?;
+        let workload = match cache::load(workload, scale) {
+            Ok(parts) => return Ok(BenchCtx::new(parts.bench, parts.profile, parts.heuristics)),
+            Err(w) => w,
+        };
+        let bench = Bench::from_workload(workload).map_err(|e| HarnessError::bench(name, e))?;
+        let profile = bench.profile_table(&ProfileConfig::default());
+        let heuristics = bench.heuristic_table(HeuristicSet::all());
+        let baseline = bench
+            .baseline_cycles()
+            .map_err(|e| HarnessError::bench(name, e))?;
+        cache::store(&bench, scale, baseline, &profile, &heuristics);
+        Ok(BenchCtx::new(bench, profile, heuristics))
+    }
+
+    /// The spawn tables for the `Independent` and `Predictable` CQIP
+    /// ordering criteria, in that order (built on first use, then shared).
+    pub fn criterion_tables(&self) -> &[SpawnTable; 2] {
+        self.criterion.get_or_init(|| {
+            [OrderCriterion::Independent, OrderCriterion::Predictable].map(|criterion| {
+                self.bench
+                    .profile_table(&ProfileConfig {
+                        criterion,
+                        ..ProfileConfig::default()
+                    })
+                    .table
+            })
+        })
+    }
+
+    /// Simulates this benchmark, naming it in any error.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bench::run`], wrapped in [`HarnessError::Bench`].
+    pub fn sim(&self, config: SimConfig, table: &SpawnTable) -> Result<SimResult, HarnessError> {
+        self.bench
+            .run(config, table)
+            .map_err(|e| HarnessError::bench(self.bench.name(), e))
+    }
+
+    /// Speed-up of `result` over the baseline, naming the benchmark in any
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bench::speedup`], wrapped in [`HarnessError::Bench`].
+    pub fn speedup(&self, result: &SimResult) -> Result<f64, HarnessError> {
+        self.bench
+            .speedup(result)
+            .map_err(|e| HarnessError::bench(self.bench.name(), e))
+    }
 }
 
 /// The loaded suite.
@@ -55,88 +189,102 @@ pub struct Harness {
 
 /// Reads the scale from `SPECMT_SCALE` (default: medium).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unrecognised value.
-pub fn scale_from_env() -> Scale {
+/// Returns [`HarnessError::Scale`] on an unrecognised value.
+pub fn scale_from_env() -> Result<Scale, HarnessError> {
     match std::env::var("SPECMT_SCALE").as_deref() {
-        Ok("tiny") => Scale::Tiny,
-        Ok("small") => Scale::Small,
-        Ok("medium") | Err(_) => Scale::Medium,
-        Ok("large") => Scale::Large,
-        Ok(other) => panic!("unknown SPECMT_SCALE `{other}` (tiny|small|medium|large)"),
+        Ok("tiny") => Ok(Scale::Tiny),
+        Ok("small") => Ok(Scale::Small),
+        Ok("medium") | Err(_) => Ok(Scale::Medium),
+        Ok("large") => Ok(Scale::Large),
+        Ok(other) => Err(HarnessError::Scale {
+            value: other.to_owned(),
+        }),
     }
 }
 
 impl Harness {
     /// Loads the whole suite at the `SPECMT_SCALE` scale, building traces
-    /// and spawn tables in parallel.
+    /// and spawn tables in parallel. Previously generated results are
+    /// restored from the disk cache (see [`cache`]) when available.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any workload fails to trace — that is a build bug, not a
-    /// user error.
-    pub fn load() -> Harness {
-        Harness::load_at(scale_from_env())
+    /// Returns [`HarnessError::Scale`] for a bad `SPECMT_SCALE`, or the
+    /// first benchmark's failure.
+    pub fn load() -> Result<Harness, HarnessError> {
+        Harness::load_at(scale_from_env()?)
     }
 
     /// As [`Harness::load`] with an explicit scale.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`Harness::load`].
-    pub fn load_at(scale: Scale) -> Harness {
+    pub fn load_at(scale: Scale) -> Result<Harness, HarnessError> {
         let names = specmt::workloads::SUITE_NAMES;
-        let mut slots: Vec<Option<BenchCtx>> = (0..names.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<BenchCtx, HarnessError>>> =
+            (0..names.len()).map(|_| None).collect();
         std::thread::scope(|s| {
             for (slot, name) in slots.iter_mut().zip(names) {
-                s.spawn(move || {
-                    let bench = Bench::load(name, scale).expect("workload traces");
-                    let profile = bench.profile_table(&ProfileConfig::default());
-                    let heuristics = bench.heuristic_table(HeuristicSet::all());
-                    // Warm the baseline cache in parallel too.
-                    bench.baseline_cycles().expect("baseline simulation");
-                    *slot = Some(BenchCtx {
-                        bench,
-                        profile,
-                        heuristics,
-                    });
-                });
+                s.spawn(move || *slot = Some(BenchCtx::load(name, scale)));
             }
         });
-        Harness {
-            benches: slots.into_iter().map(|s| s.expect("slot filled")).collect(),
-            scale,
-        }
+        let benches = slots
+            .into_iter()
+            .map(|s| s.expect("slot filled"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Harness { benches, scale })
     }
 
     /// Runs `config` with each benchmark's profile table, returning
     /// `(name, speedup, result)` triples.
-    pub fn run_profile(&self, config: &SimConfig) -> Vec<(&'static str, f64, SimResult)> {
+    ///
+    /// # Errors
+    ///
+    /// The first benchmark's simulation failure, if any.
+    pub fn run_profile(
+        &self,
+        config: &SimConfig,
+    ) -> Result<Vec<(&'static str, f64, SimResult)>, HarnessError> {
         self.run_with(config, |ctx| &ctx.profile.table)
     }
 
     /// Runs `config` with each benchmark's heuristic table.
-    pub fn run_heuristics(&self, config: &SimConfig) -> Vec<(&'static str, f64, SimResult)> {
+    ///
+    /// # Errors
+    ///
+    /// As [`Harness::run_profile`].
+    pub fn run_heuristics(
+        &self,
+        config: &SimConfig,
+    ) -> Result<Vec<(&'static str, f64, SimResult)>, HarnessError> {
         self.run_with(config, |ctx| &ctx.heuristics)
     }
 
     /// Runs `config` against a per-benchmark table selector.
+    ///
+    /// # Errors
+    ///
+    /// As [`Harness::run_profile`].
     pub fn run_with<'a>(
         &'a self,
         config: &SimConfig,
         table: impl Fn(&'a BenchCtx) -> &'a SpawnTable + Sync,
-    ) -> Vec<(&'static str, f64, SimResult)> {
-        let mut out: Vec<Option<(&'static str, f64, SimResult)>> =
-            (0..self.benches.len()).map(|_| None).collect();
+    ) -> Result<Vec<(&'static str, f64, SimResult)>, HarnessError> {
+        type Run = Result<(&'static str, f64, SimResult), HarnessError>;
+        let mut out: Vec<Option<Run>> = (0..self.benches.len()).map(|_| None).collect();
         std::thread::scope(|s| {
             for (slot, ctx) in out.iter_mut().zip(&self.benches) {
                 let cfg = config.clone();
                 let t = table(ctx);
                 s.spawn(move || {
-                    let r = ctx.bench.run(cfg, t).expect("simulation");
-                    let sp = ctx.bench.speedup(&r).expect("baseline simulation");
-                    *slot = Some((ctx.bench.name(), sp, r));
+                    *slot = Some((|| {
+                        let r = ctx.sim(cfg, t)?;
+                        let sp = ctx.speedup(&r)?;
+                        Ok((ctx.bench.name(), sp, r))
+                    })());
                 });
             }
         });

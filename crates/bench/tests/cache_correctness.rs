@@ -1,0 +1,126 @@
+//! The persistent pipeline cache must be invisible: a warm load returns
+//! bit-identical results to a cold one, and a damaged cache silently falls
+//! back to regeneration. The scenario runs as ONE test because it owns the
+//! `SPECMT_CACHE*` process environment.
+
+use std::fs;
+use std::path::PathBuf;
+
+use specmt::sim::SimConfig;
+use specmt::workloads::Scale;
+use specmt_bench::BenchCtx;
+
+/// Everything a figure derives from one benchmark, in exactly-comparable
+/// form. `ProfileResult` and `SpawnTable` are integer/f64 state computed
+/// from integer trace data, so equality is exact.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    baseline: u64,
+    profile: specmt::spawn::ProfileResult,
+    heuristics: specmt::spawn::SpawnTable,
+    paper16_cycles: u64,
+    paper16_speedup: f64,
+}
+
+fn fingerprint(ctx: &BenchCtx) -> Fingerprint {
+    let result = ctx
+        .sim(SimConfig::paper(16), &ctx.profile.table)
+        .expect("simulation");
+    Fingerprint {
+        baseline: ctx.bench.baseline_cycles().expect("baseline"),
+        profile: ctx.profile.clone(),
+        heuristics: ctx.heuristics.clone(),
+        paper16_cycles: result.cycles,
+        paper16_speedup: ctx.speedup(&result).expect("speedup"),
+    }
+}
+
+fn cache_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn warm_loads_are_bit_identical_and_corruption_is_survived() {
+    let dir = std::env::temp_dir().join(format!("specmt-cache-test-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    std::env::set_var("SPECMT_CACHE_DIR", &dir);
+    std::env::remove_var("SPECMT_CACHE");
+
+    // Cold load populates the cache.
+    let cold = BenchCtx::load("gcc", Scale::Tiny).expect("cold load");
+    let cold_fp = fingerprint(&cold);
+    let files = cache_files(&dir);
+    assert!(
+        files.iter().any(|p| p.extension().is_some_and(|e| e == "trace")),
+        "cold load must write a trace entry, got {files:?}"
+    );
+    assert!(
+        files
+            .iter()
+            .any(|p| p.to_string_lossy().ends_with(".meta.json")),
+        "cold load must write metadata, got {files:?}"
+    );
+
+    // Warm load hits the cache and reproduces every product exactly.
+    let warm = BenchCtx::load("gcc", Scale::Tiny).expect("warm load");
+    assert_eq!(fingerprint(&warm), cold_fp, "warm load must be bit-identical");
+
+    // Corrupted trace entries are ignored and regenerated.
+    for path in cache_files(&dir) {
+        if path.extension().is_some_and(|e| e == "trace") {
+            fs::write(&path, b"garbage").expect("corrupt trace");
+        }
+    }
+    let recovered = BenchCtx::load("gcc", Scale::Tiny).expect("load over corrupt trace");
+    assert_eq!(fingerprint(&recovered), cold_fp);
+    for path in cache_files(&dir) {
+        if path.extension().is_some_and(|e| e == "trace") {
+            let len = fs::metadata(&path).expect("trace entry").len();
+            assert!(len > 100, "corrupt entry must be rewritten, len {len}");
+        }
+    }
+
+    // Truncated metadata is likewise a silent miss.
+    for path in cache_files(&dir) {
+        if path.to_string_lossy().ends_with(".meta.json") {
+            let bytes = fs::read(&path).expect("meta");
+            fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate meta");
+        }
+    }
+    let recovered = BenchCtx::load("gcc", Scale::Tiny).expect("load over truncated meta");
+    assert_eq!(fingerprint(&recovered), cold_fp);
+
+    // A stale-layout entry (valid container, wrong content) is rejected by
+    // the checksum re-validation: swap in a different workload's trace.
+    let alien = BenchCtx::load("compress", Scale::Tiny).expect("alien load");
+    let mut alien_bytes = Vec::new();
+    alien.bench.trace().write_to(&mut alien_bytes).expect("serialize");
+    for path in cache_files(&dir) {
+        if path.to_string_lossy().contains("gcc-") && path.extension().is_some_and(|e| e == "trace")
+        {
+            fs::write(&path, &alien_bytes).expect("swap trace");
+        }
+    }
+    let recovered = BenchCtx::load("gcc", Scale::Tiny).expect("load over swapped trace");
+    assert_eq!(fingerprint(&recovered), cold_fp);
+
+    // SPECMT_CACHE=off bypasses the cache entirely: same results, and the
+    // cache directory is left untouched.
+    std::env::set_var("SPECMT_CACHE", "off");
+    let _ = fs::remove_dir_all(&dir);
+    let uncached = BenchCtx::load("gcc", Scale::Tiny).expect("uncached load");
+    assert_eq!(fingerprint(&uncached), cold_fp);
+    assert!(
+        !dir.exists(),
+        "SPECMT_CACHE=off must not touch the cache directory"
+    );
+
+    std::env::remove_var("SPECMT_CACHE");
+    std::env::remove_var("SPECMT_CACHE_DIR");
+    let _ = fs::remove_dir_all(&dir);
+}

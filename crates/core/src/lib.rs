@@ -110,6 +110,45 @@ impl Bench {
         })
     }
 
+    /// Reassembles a benchmark from a previously generated (typically
+    /// disk-cached) trace, optionally seeding the baseline cycle count so
+    /// warm starts skip the baseline simulation too.
+    ///
+    /// The trace is never trusted: it must be structurally valid for the
+    /// workload's program and must reproduce the workload's expected
+    /// checksum, so a stale or corrupted cache entry is rejected here
+    /// rather than silently polluting results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Trace`] if the trace references instructions
+    /// outside the program, or [`BenchError::ChecksumMismatch`] if it does
+    /// not reproduce the workload's checksum.
+    pub fn from_cached(
+        workload: Workload,
+        trace: Trace,
+        baseline: Option<u64>,
+    ) -> Result<Bench, BenchError> {
+        trace.validate().map_err(BenchError::Trace)?;
+        let actual = trace.final_reg(specmt_isa::Reg::R10);
+        if actual != workload.expected_checksum {
+            return Err(BenchError::ChecksumMismatch {
+                name: workload.name,
+                expected: workload.expected_checksum,
+                actual,
+            });
+        }
+        let bench = Bench {
+            workload,
+            trace,
+            baseline: OnceLock::new(),
+        };
+        if let Some(cycles) = baseline {
+            let _ = bench.baseline.set(cycles);
+        }
+        Ok(bench)
+    }
+
     /// The whole suite at `scale`, in the paper's reporting order.
     ///
     /// # Errors
@@ -200,6 +239,16 @@ pub enum BenchError {
     Trace(TraceError),
     /// Simulation failed (invalid configuration or a broken invariant).
     Sim(SimError),
+    /// A supplied trace does not reproduce the workload's checksum
+    /// (possible only via [`Bench::from_cached`]).
+    ChecksumMismatch {
+        /// The workload the trace claimed to belong to.
+        name: &'static str,
+        /// The workload's reference checksum.
+        expected: u64,
+        /// The checksum the trace actually left in `r10`.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for BenchError {
@@ -213,6 +262,14 @@ impl std::fmt::Display for BenchError {
             }
             BenchError::Trace(e) => write!(f, "trace generation failed: {e}"),
             BenchError::Sim(e) => write!(f, "simulation failed: {e}"),
+            BenchError::ChecksumMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "trace for `{name}` left checksum {actual:#x}, expected {expected:#x}"
+            ),
         }
     }
 }
@@ -222,7 +279,7 @@ impl std::error::Error for BenchError {
         match self {
             BenchError::Trace(e) => Some(e),
             BenchError::Sim(e) => Some(e),
-            BenchError::UnknownWorkload { .. } => None,
+            BenchError::UnknownWorkload { .. } | BenchError::ChecksumMismatch { .. } => None,
         }
     }
 }

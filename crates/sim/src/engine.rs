@@ -206,8 +206,8 @@ impl<'a> Engine<'a> {
         let mut cqip_occurrences: HashMap<u32, Vec<u32>> =
             cqip_pcs.iter().map(|&pc| (pc, Vec::new())).collect();
         if !cqip_pcs.is_empty() {
-            for (k, rec) in trace.records().iter().enumerate() {
-                if let Some(list) = cqip_occurrences.get_mut(&rec.pc.0) {
+            for (k, &pc) in trace.pcs().iter().enumerate() {
+                if let Some(list) = cqip_occurrences.get_mut(&pc) {
                     list.push(k as u32);
                 }
             }
@@ -245,7 +245,7 @@ impl<'a> Engine<'a> {
         self.tus[0].busy = true;
         let mut next = Some(PendingThread {
             start: 0,
-            start_pc: self.trace.records().first().map_or(0, |r| r.pc.0),
+            start_pc: self.trace.pcs().first().copied().unwrap_or(0),
             spawn_time: 0,
             init_done: 0,
             tu: 0,
@@ -385,7 +385,7 @@ impl<'a> Engine<'a> {
                 break;
             }
 
-            let Some(&rec) = self.trace.record(k) else {
+            let Some(rec) = self.trace.record(k) else {
                 return Err(SimError::broken(format!(
                     "dynamic index {k} escaped a trace of length {n}"
                 )));
@@ -563,7 +563,11 @@ impl<'a> Engine<'a> {
                             cqip_pc,
                             reg: reg.index() as u8,
                         };
-                        let actual = self.trace.record(p).map_or(0, |r| r.result);
+                        let actual = if p < self.trace.len() {
+                            self.trace.result_at(p)
+                        } else {
+                            0
+                        };
                         let mut guess = predictor.predict(key);
                         predictor.train(key, actual);
                         if let Some(fi) = self.faults.as_mut() {

@@ -82,9 +82,9 @@ impl Default for MemSliceConfig {
 pub fn memslice_pairs(trace: &Trace, config: &MemSliceConfig) -> SpawnTable {
     // Per memory pc: (occurrences, first dynamic index, last dynamic index).
     let mut sites: HashMap<u32, (u64, u64, u64)> = HashMap::new();
-    for (k, rec) in trace.records().iter().enumerate() {
+    for (k, &pc) in trace.pcs().iter().enumerate() {
         if trace.inst(k).is_mem() {
-            let e = sites.entry(rec.pc.0).or_insert((0, k as u64, k as u64));
+            let e = sites.entry(pc).or_insert((0, k as u64, k as u64));
             e.0 += 1;
             e.2 = k as u64;
         }

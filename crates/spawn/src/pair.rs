@@ -66,7 +66,7 @@ pub struct SpawnPair {
 /// // Best-scored candidate first.
 /// assert_eq!(table.candidates(Pc(3))[0].cqip, Pc(7));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpawnTable {
     by_sp: BTreeMap<u32, Vec<SpawnPair>>,
 }

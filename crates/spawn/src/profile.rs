@@ -68,7 +68,7 @@ impl Default for ProfileConfig {
 }
 
 /// Output of [`profile_pairs`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileResult {
     /// The spawn table (profile pairs plus, if enabled, return pairs).
     pub table: SpawnTable,
@@ -83,6 +83,15 @@ pub struct ProfileResult {
     /// Instruction coverage actually achieved by the kept blocks.
     pub coverage: f64,
 }
+
+// Serialized so the harness's disk cache can memoize profile runs.
+serde::impl_serde_struct!(ProfileResult {
+    table,
+    selected_pairs,
+    distinct_sps,
+    kept_blocks,
+    coverage,
+});
 
 /// Runs the full §3.1 pipeline on a profile trace.
 ///
@@ -322,8 +331,7 @@ impl<'a> DepScorer<'a> {
                     mask |= masks[p - cqip_dyn];
                 } else if p >= sp_dyn {
                     mask |= 1 << r.index();
-                    let rec = self.trace.record(p).expect("producer in range");
-                    live_in_values[r.index()].get_or_insert(rec.result);
+                    live_in_values[r.index()].get_or_insert(self.trace.result_at(p));
                 }
             }
             if inst.is_load() {

@@ -45,7 +45,7 @@ pub fn return_pairs(trace: &Trace, min_distance: f64) -> (Vec<SpawnPair>, Vec<Re
     for k in 0..trace.len() {
         let inst = trace.inst(k);
         if inst.is_call() {
-            let pc = trace.record(k).expect("in range").pc;
+            let pc = trace.pc_at(k);
             sites.entry(pc.0).or_default().0 += 1;
             stack.push((pc, k));
         } else if inst.is_ret() {

@@ -64,7 +64,6 @@ impl DepGraph {
 
         for k in 0..n {
             let inst = trace.inst(k);
-            let rec = &trace.records()[k];
             for (s, src) in inst.srcs().into_iter().enumerate() {
                 if let Some(r) = src {
                     if !r.is_zero() {
@@ -73,12 +72,12 @@ impl DepGraph {
                 }
             }
             if inst.is_load() {
-                if let Some(&p) = last_store.get(&rec.addr) {
+                if let Some(&p) = last_store.get(&trace.addr_at(k)) {
                     mem_producers[k] = p;
                 }
             }
             if inst.is_store() {
-                last_store.insert(rec.addr, k as u32);
+                last_store.insert(trace.addr_at(k), k as u32);
             }
             if let Some(dst) = inst.dst() {
                 if !dst.is_zero() {

@@ -5,29 +5,30 @@
 //!
 //! ```text
 //! magic "SMTR" | version u32 LE | program-JSON length u32 LE | program JSON
-//! | record count u64 LE | final regs (32 x u64 LE) | records...
+//! | record count u64 LE | final regs (32 x u64 LE)
+//! | pc column | taken column | addr column | result column
 //! ```
 //!
-//! Each record is delta/varint packed: a flags byte (taken / has-address /
-//! has-result / pc-is-next), then the pc as a varint unless it is simply the
-//! previous pc + 1 (the overwhelmingly common case), then the effective
-//! address and result as varints when present. Typical traces compress to
-//! 3–6 bytes per dynamic instruction.
+//! The payload mirrors the in-memory structure-of-arrays layout, one column
+//! at a time, so encode and decode are four tight loops rather than a
+//! per-record flag dispatch:
+//!
+//! * **pc** — zigzag-varint deltas from the previous pc (the overwhelmingly
+//!   common sequential step encodes as one byte);
+//! * **taken** — the packed 64-flags-per-word bitmap, raw `u64` LE words;
+//! * **addr**, **result** — plain varints (zero, the common case for
+//!   non-memory and non-producing instructions, is one byte).
+//!
+//! Typical traces compress to 3–6 bytes per dynamic instruction.
 
 use std::io::{self, Read, Write};
 
 use bytes::{Buf, BufMut, BytesMut};
-use specmt_isa::Pc;
 
-use crate::{DynInst, Trace};
+use crate::Trace;
 
 const MAGIC: &[u8; 4] = b"SMTR";
-const VERSION: u32 = 1;
-
-const FLAG_TAKEN: u8 = 1 << 0;
-const FLAG_ADDR: u8 = 1 << 1;
-const FLAG_RESULT: u8 = 1 << 2;
-const FLAG_SEQ_PC: u8 = 1 << 3;
+const VERSION: u32 = 2;
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -66,6 +67,14 @@ fn get_varint(buf: &mut &[u8]) -> io::Result<u64> {
     }
 }
 
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 impl Trace {
     /// Serializes the trace (including its program and final register file)
     /// to `w` in the compact binary container format.
@@ -88,7 +97,7 @@ impl Trace {
     /// let mut bytes = Vec::new();
     /// trace.write_to(&mut bytes)?;
     /// let copy = Trace::read_from(&bytes[..])?;
-    /// assert_eq!(copy.records(), trace.records());
+    /// assert_eq!(copy.records_vec(), trace.records_vec());
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn write_to(&self, mut w: impl Write) -> io::Result<()> {
@@ -104,33 +113,19 @@ impl Trace {
             buf.put_u64_le(self.final_reg(r));
         }
 
-        let mut prev_pc: u64 = u64::MAX;
-        for rec in self.records() {
-            let mut flags = 0u8;
-            if rec.taken {
-                flags |= FLAG_TAKEN;
-            }
-            if rec.addr != 0 {
-                flags |= FLAG_ADDR;
-            }
-            if rec.result != 0 {
-                flags |= FLAG_RESULT;
-            }
-            let seq = u64::from(rec.pc.0) == prev_pc.wrapping_add(1);
-            if seq {
-                flags |= FLAG_SEQ_PC;
-            }
-            buf.put_u8(flags);
-            if !seq {
-                put_varint(&mut buf, u64::from(rec.pc.0));
-            }
-            if flags & FLAG_ADDR != 0 {
-                put_varint(&mut buf, rec.addr);
-            }
-            if flags & FLAG_RESULT != 0 {
-                put_varint(&mut buf, rec.result);
-            }
-            prev_pc = u64::from(rec.pc.0);
+        let mut prev = 0i64;
+        for &pc in self.pcs() {
+            put_varint(&mut buf, zigzag(i64::from(pc) - prev));
+            prev = i64::from(pc);
+        }
+        for &word in self.taken_words() {
+            buf.put_u64_le(word);
+        }
+        for &addr in self.addrs_col() {
+            put_varint(&mut buf, addr);
+        }
+        for &result in self.results_col() {
+            put_varint(&mut buf, result);
         }
         w.write_all(&buf)
     }
@@ -171,47 +166,45 @@ impl Trace {
             *slot = buf.get_u64_le();
         }
 
-        let program_len = program.len() as u64;
-        // Every record costs at least its flag byte, so a count beyond the
+        // Every record costs at least one pc byte, so a count beyond the
         // remaining bytes is corrupt — reject it before reserving, or a
         // crafted header could demand an unbounded allocation.
         if count > buf.remaining() {
             return Err(bad("record count exceeds available data"));
         }
-        let mut records = Vec::with_capacity(count);
-        let mut prev_pc: u64 = u64::MAX;
+
+        let program_len = i64::try_from(program.len()).map_err(|_| bad("program too large"))?;
+        let mut pcs = Vec::with_capacity(count);
+        let mut prev = 0i64;
         for _ in 0..count {
-            if !buf.has_remaining() {
-                return Err(bad("truncated records"));
-            }
-            let flags = buf.get_u8();
-            let pc = if flags & FLAG_SEQ_PC != 0 {
-                prev_pc.wrapping_add(1)
-            } else {
-                get_varint(&mut buf)?
-            };
-            if pc >= program_len {
+            let pc = prev + unzigzag(get_varint(&mut buf)?);
+            if pc < 0 || pc >= program_len {
                 return Err(bad("record pc outside program"));
             }
-            let addr = if flags & FLAG_ADDR != 0 {
-                get_varint(&mut buf)?
-            } else {
-                0
-            };
-            let result = if flags & FLAG_RESULT != 0 {
-                get_varint(&mut buf)?
-            } else {
-                0
-            };
-            records.push(DynInst {
-                pc: Pc(pc as u32),
-                taken: flags & FLAG_TAKEN != 0,
-                addr,
-                result,
-            });
-            prev_pc = pc;
+            pcs.push(pc as u32);
+            prev = pc;
         }
-        Ok(Trace::from_parts(program, records, final_regs))
+
+        let taken_words = count.div_ceil(64);
+        if buf.remaining() < taken_words * 8 {
+            return Err(bad("truncated taken column"));
+        }
+        let mut taken = Vec::with_capacity(taken_words);
+        for _ in 0..taken_words {
+            taken.push(buf.get_u64_le());
+        }
+
+        let mut addrs = Vec::with_capacity(count);
+        for _ in 0..count {
+            addrs.push(get_varint(&mut buf)?);
+        }
+        let mut results = Vec::with_capacity(count);
+        for _ in 0..count {
+            results.push(get_varint(&mut buf)?);
+        }
+        Ok(Trace::from_columns(
+            program, pcs, taken, addrs, results, final_regs,
+        ))
     }
 }
 
@@ -243,7 +236,7 @@ mod tests {
         let mut bytes = Vec::new();
         trace.write_to(&mut bytes).unwrap();
         let copy = Trace::read_from(&bytes[..]).unwrap();
-        assert_eq!(copy.records(), trace.records());
+        assert_eq!(copy.records_vec(), trace.records_vec());
         assert_eq!(copy.program().insts(), trace.program().insts());
         for r in Reg::all() {
             assert_eq!(copy.final_reg(r), trace.final_reg(r));
@@ -283,12 +276,14 @@ mod tests {
         let trace = sample_trace();
         let mut bytes = Vec::new();
         trace.write_to(&mut bytes).unwrap();
-        // Flip a record's pc varint to something huge: corrupt the last few
-        // record bytes until read fails with InvalidData (never panics).
-        for i in (bytes.len().saturating_sub(16))..bytes.len() {
+        // Corrupt bytes throughout the columns: read must fail cleanly or
+        // succeed with in-range pcs — never panic.
+        for i in (200..bytes.len()).step_by(7) {
             let mut corrupt = bytes.clone();
-            corrupt[i] = 0x7f;
-            let _ = Trace::read_from(&corrupt[..]); // must not panic
+            corrupt[i] = 0xff;
+            if let Ok(t) = Trace::read_from(&corrupt[..]) {
+                assert!(t.validate().is_ok());
+            }
         }
     }
 }

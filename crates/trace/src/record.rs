@@ -18,6 +18,10 @@ use crate::{Emulator, StepOutcome, TraceError};
 ///   otherwise), and
 /// * `result` — the value written to the destination register, or the value
 ///   stored to memory for stores (zero for instructions with no result).
+///
+/// `DynInst` is the *logical* record: [`Trace`] stores the four fields in
+/// parallel structure-of-arrays columns (see the type docs) and assembles a
+/// `DynInst` on demand. It is `Copy`; accessors hand it out by value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynInst {
     /// Static instruction address.
@@ -39,6 +43,16 @@ pub struct DynInst {
 /// and the processor model in `specmt-sim` replays them under a timing
 /// model.
 ///
+/// # Data layout
+///
+/// Records are stored as a structure of arrays — `pc` as a `u32` column,
+/// `addr` and `result` as `u64` columns, `taken` as packed bits — instead of
+/// an array of 24-byte structs. The hot consumers are column-selective:
+/// block streaming and spawn-point scans read only pcs (4 bytes/record
+/// instead of 24), the dependence builder reads pcs and addresses, and the
+/// timing model's value-prediction path reads single results by index. The
+/// split keeps each scan from dragging the cold columns through cache.
+///
 /// # Examples
 ///
 /// ```
@@ -56,7 +70,11 @@ pub struct DynInst {
 #[derive(Debug, Clone)]
 pub struct Trace {
     program: Arc<Program>,
-    records: Vec<DynInst>,
+    pcs: Vec<u32>,
+    /// Taken flags, 64 records per word (bit `k % 64` of word `k / 64`).
+    taken: Vec<u64>,
+    addrs: Vec<u64>,
+    results: Vec<u64>,
     final_regs: [u64; specmt_isa::NUM_REGS],
 }
 
@@ -105,40 +123,87 @@ impl Trace {
     /// Drives `emu` to completion, recording every executed instruction.
     fn record_from(mut emu: Emulator, max_steps: u64) -> Result<Trace, TraceError> {
         let program = Arc::clone(emu.program());
-        let mut records = Vec::new();
+        let mut trace = Trace {
+            program,
+            pcs: Vec::new(),
+            taken: Vec::new(),
+            addrs: Vec::new(),
+            results: Vec::new(),
+            final_regs: [0u64; specmt_isa::NUM_REGS],
+        };
         loop {
-            if records.len() as u64 >= max_steps {
+            if trace.pcs.len() as u64 >= max_steps {
                 return Err(TraceError::StepLimitExceeded { limit: max_steps });
             }
             match emu.step()? {
-                StepOutcome::Executed(rec) => records.push(rec),
+                StepOutcome::Executed(rec) => trace.push(rec),
                 StepOutcome::Halted => break,
             }
         }
-        let mut final_regs = [0u64; specmt_isa::NUM_REGS];
         for r in Reg::all() {
-            final_regs[r.index()] = emu.reg(r);
+            trace.final_regs[r.index()] = emu.reg(r);
         }
-        Ok(Trace {
-            program,
-            records,
-            final_regs,
-        })
+        Ok(trace)
     }
 
-    /// Reassembles a trace from its parts (used by the binary
-    /// deserializer). The caller is responsible for the records being a
-    /// genuine execution of `program`.
-    pub(crate) fn from_parts(
+    /// Reassembles a trace directly from its column store (used by the
+    /// binary deserializer). Panics if the column lengths are inconsistent;
+    /// trailing bits of the last `taken` word are masked off so equal traces
+    /// compare equal regardless of serialization history.
+    pub(crate) fn from_columns(
         program: Program,
-        records: Vec<DynInst>,
+        pcs: Vec<u32>,
+        mut taken: Vec<u64>,
+        addrs: Vec<u64>,
+        results: Vec<u64>,
         final_regs: [u64; specmt_isa::NUM_REGS],
     ) -> Trace {
+        assert_eq!(addrs.len(), pcs.len());
+        assert_eq!(results.len(), pcs.len());
+        assert_eq!(taken.len(), pcs.len().div_ceil(64));
+        if !pcs.len().is_multiple_of(64) {
+            if let Some(last) = taken.last_mut() {
+                *last &= (1u64 << (pcs.len() % 64)) - 1;
+            }
+        }
         Trace {
             program: Arc::new(program),
-            records,
+            pcs,
+            taken,
+            addrs,
+            results,
             final_regs,
         }
+    }
+
+    /// The packed taken-flag words backing [`Trace::taken_at`] (bit
+    /// `k % 64` of word `k / 64`).
+    pub(crate) fn taken_words(&self) -> &[u64] {
+        &self.taken
+    }
+
+    /// The effective-address column.
+    pub(crate) fn addrs_col(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// The result-value column.
+    pub(crate) fn results_col(&self) -> &[u64] {
+        &self.results
+    }
+
+    /// Appends one record to the column store.
+    fn push(&mut self, rec: DynInst) {
+        let k = self.pcs.len();
+        self.pcs.push(rec.pc.0);
+        if k.is_multiple_of(64) {
+            self.taken.push(0);
+        }
+        if rec.taken {
+            self.taken[k / 64] |= 1u64 << (k % 64);
+        }
+        self.addrs.push(rec.addr);
+        self.results.push(rec.result);
     }
 
     /// The program this trace was recorded from.
@@ -148,23 +213,92 @@ impl Trace {
 
     /// Number of dynamic instructions (including the final `halt`).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.pcs.len()
     }
 
     /// Whether the trace is empty (never true for a generated trace — the
     /// `halt` itself is recorded).
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.pcs.is_empty()
     }
 
-    /// All dynamic records, in execution order.
-    pub fn records(&self) -> &[DynInst] {
-        &self.records
+    /// The static pc column, in execution order — the cheapest way to scan
+    /// control flow (4 bytes per record).
+    pub fn pcs(&self) -> &[u32] {
+        &self.pcs
     }
 
-    /// The record at dynamic index `k`.
-    pub fn record(&self, k: usize) -> Option<&DynInst> {
-        self.records.get(k)
+    /// The static pc executed at dynamic index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn pc_at(&self, k: usize) -> Pc {
+        Pc(self.pcs[k])
+    }
+
+    /// Whether the instruction at dynamic index `k` redirected fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn taken_at(&self, k: usize) -> bool {
+        assert!(k < self.pcs.len(), "dynamic index out of range");
+        self.taken[k / 64] & (1u64 << (k % 64)) != 0
+    }
+
+    /// The effective memory address of the instruction at dynamic index `k`
+    /// (zero for non-memory instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn addr_at(&self, k: usize) -> u64 {
+        self.addrs[k]
+    }
+
+    /// The produced (register or stored) value of the instruction at
+    /// dynamic index `k` (zero for instructions with no result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn result_at(&self, k: usize) -> u64 {
+        self.results[k]
+    }
+
+    /// The record at dynamic index `k`, assembled from the columns.
+    pub fn record(&self, k: usize) -> Option<DynInst> {
+        if k >= self.pcs.len() {
+            return None;
+        }
+        Some(DynInst {
+            pc: Pc(self.pcs[k]),
+            taken: self.taken_at(k),
+            addr: self.addrs[k],
+            result: self.results[k],
+        })
+    }
+
+    /// Iterates over all dynamic records, in execution order.
+    pub fn iter_records(&self) -> impl Iterator<Item = DynInst> + '_ {
+        (0..self.pcs.len()).map(|k| DynInst {
+            pc: Pc(self.pcs[k]),
+            taken: self.taken[k / 64] & (1u64 << (k % 64)) != 0,
+            addr: self.addrs[k],
+            result: self.results[k],
+        })
+    }
+
+    /// All dynamic records materialised into a vector (test and
+    /// interchange convenience — hot paths should use the columnar
+    /// accessors or [`Trace::iter_records`]).
+    pub fn records_vec(&self) -> Vec<DynInst> {
+        self.iter_records().collect()
     }
 
     /// The static instruction executed at dynamic index `k`.
@@ -177,7 +311,7 @@ impl Trace {
     ///
     /// Panics if `k` is out of range.
     pub fn inst(&self, k: usize) -> &Inst {
-        &self.program.insts()[self.records[k].pc.index()]
+        &self.program.insts()[self.pcs[k] as usize]
     }
 
     /// Checks the structural invariant every downstream consumer relies on:
@@ -192,9 +326,9 @@ impl Trace {
     /// Returns [`TraceError::BadPc`] naming the first out-of-range pc.
     pub fn validate(&self) -> Result<(), TraceError> {
         let len = self.program.len();
-        for r in &self.records {
-            if r.pc.index() >= len {
-                return Err(TraceError::BadPc { pc: r.pc, len });
+        for &pc in &self.pcs {
+            if pc as usize >= len {
+                return Err(TraceError::BadPc { pc: Pc(pc), len });
             }
         }
         Ok(())
@@ -211,8 +345,8 @@ impl Trace {
     /// static instruction.
     pub fn execution_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.program.len()];
-        for r in &self.records {
-            counts[r.pc.index()] += 1;
+        for &pc in &self.pcs {
+            counts[pc as usize] += 1;
         }
         counts
     }
@@ -221,8 +355,8 @@ impl Trace {
     pub fn mix(&self) -> TraceMix {
         let mut mix = TraceMix::default();
         let insts = self.program.insts();
-        for r in &self.records {
-            let inst = &insts[r.pc.index()];
+        for (k, &pc) in self.pcs.iter().enumerate() {
+            let inst = &insts[pc as usize];
             mix.total += 1;
             if inst.is_load() {
                 mix.loads += 1;
@@ -230,7 +364,7 @@ impl Trace {
                 mix.stores += 1;
             } else if inst.is_cond_branch() {
                 mix.cond_branches += 1;
-                if r.taken {
+                if self.taken[k / 64] & (1u64 << (k % 64)) != 0 {
                     mix.taken_cond_branches += 1;
                 }
             } else if inst.is_call() {
@@ -299,7 +433,7 @@ mod tests {
     fn bounded_generation_matches_unbounded_when_within_limits() {
         let a = Trace::generate(loop_program(4), 1000).unwrap();
         let b = Trace::generate_bounded(loop_program(4), 1000, 1 << 20).unwrap();
-        assert_eq!(a.records(), b.records());
+        assert_eq!(a.records_vec(), b.records_vec());
     }
 
     #[test]
@@ -325,13 +459,37 @@ mod tests {
     #[test]
     fn branch_records_mark_taken() {
         let trace = Trace::generate(loop_program(2), 1000).unwrap();
-        let branch_records: Vec<&DynInst> = trace
-            .records()
-            .iter()
+        let branch_records: Vec<DynInst> = trace
+            .iter_records()
             .filter(|r| trace.program().inst(r.pc).unwrap().is_cond_branch())
             .collect();
         assert_eq!(branch_records.len(), 2);
         assert!(branch_records[0].taken);
         assert!(!branch_records[1].taken);
+    }
+
+    #[test]
+    fn columnar_accessors_agree_with_records() {
+        let trace = Trace::generate(loop_program(9), 1000).unwrap();
+        for (k, rec) in trace.iter_records().enumerate() {
+            assert_eq!(trace.pc_at(k), rec.pc);
+            assert_eq!(trace.taken_at(k), rec.taken);
+            assert_eq!(trace.addr_at(k), rec.addr);
+            assert_eq!(trace.result_at(k), rec.result);
+            assert_eq!(trace.record(k), Some(rec));
+        }
+        assert_eq!(trace.record(trace.len()), None);
+        assert_eq!(trace.pcs().len(), trace.len());
+    }
+
+    #[test]
+    fn taken_bits_pack_beyond_one_word() {
+        // >64 records so the taken bitmap spans multiple words.
+        let trace = Trace::generate(loop_program(40), 1000).unwrap();
+        assert!(trace.len() > 64);
+        let records = trace.records_vec();
+        for (k, rec) in records.iter().enumerate() {
+            assert_eq!(trace.taken_at(k), rec.taken, "record {k}");
+        }
     }
 }

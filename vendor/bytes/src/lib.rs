@@ -24,6 +24,7 @@ pub trait Buf {
     fn advance(&mut self, cnt: usize);
 
     /// Whether any bytes remain.
+    #[inline]
     fn has_remaining(&self) -> bool {
         self.remaining() > 0
     }
@@ -33,6 +34,7 @@ pub trait Buf {
     /// # Panics
     ///
     /// Panics if the buffer is empty.
+    #[inline]
     fn get_u8(&mut self) -> u8 {
         assert!(self.has_remaining(), "get_u8 on empty buffer");
         let b = self.chunk()[0];
@@ -45,6 +47,7 @@ pub trait Buf {
     /// # Panics
     ///
     /// Panics if fewer than four bytes remain.
+    #[inline]
     fn get_u32_le(&mut self) -> u32 {
         assert!(self.remaining() >= 4, "get_u32_le past end of buffer");
         let c = self.chunk();
@@ -58,6 +61,7 @@ pub trait Buf {
     /// # Panics
     ///
     /// Panics if fewer than eight bytes remain.
+    #[inline]
     fn get_u64_le(&mut self) -> u64 {
         assert!(self.remaining() >= 8, "get_u64_le past end of buffer");
         let c = self.chunk();
@@ -68,14 +72,17 @@ pub trait Buf {
 }
 
 impl Buf for &[u8] {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
 
+    #[inline]
     fn chunk(&self) -> &[u8] {
         self
     }
 
+    #[inline]
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance past end of buffer");
         *self = &self[cnt..];
@@ -88,16 +95,19 @@ pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
 
     /// Appends one byte.
+    #[inline]
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
     }
 
     /// Appends a little-endian `u32`.
+    #[inline]
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u64`.
+    #[inline]
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
@@ -111,11 +121,13 @@ pub struct BytesMut {
 
 impl BytesMut {
     /// Creates an empty buffer.
+    #[inline]
     pub fn new() -> BytesMut {
         BytesMut::default()
     }
 
     /// Creates an empty buffer with `cap` bytes preallocated.
+    #[inline]
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut {
             data: Vec::with_capacity(cap),
@@ -123,28 +135,33 @@ impl BytesMut {
     }
 
     /// Number of bytes written so far.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
     /// Whether the buffer is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
     /// Consumes the buffer, returning its bytes.
+    #[inline]
     pub fn into_vec(self) -> Vec<u8> {
         self.data
     }
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
 }
 
 impl BufMut for Vec<u8> {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
     }
@@ -153,18 +170,21 @@ impl BufMut for Vec<u8> {
 impl Deref for BytesMut {
     type Target = [u8];
 
+    #[inline]
     fn deref(&self) -> &[u8] {
         &self.data
     }
 }
 
 impl DerefMut for BytesMut {
+    #[inline]
     fn deref_mut(&mut self) -> &mut [u8] {
         &mut self.data
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         &self.data
     }
@@ -175,6 +195,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[inline]
     fn put_then_get_round_trips() {
         let mut buf = BytesMut::with_capacity(32);
         buf.put_u8(0xab);
@@ -194,6 +215,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "past end")]
+    #[inline]
     fn get_past_end_panics() {
         let mut r: &[u8] = &[1, 2];
         let _ = r.get_u32_le();
