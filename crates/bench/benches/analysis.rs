@@ -2,10 +2,10 @@
 //! dynamic CFG with pruning, and the reaching-probability computation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use specmt::analysis::{BasicBlocks, BlockStream, DynCfg, ReachingAnalysis};
-use specmt::spawn::{profile_pairs, ProfileConfig};
-use specmt::trace::Trace;
-use specmt::workloads::{self, Scale};
+use specmt_analysis::{BasicBlocks, BlockStream, DynCfg, ReachingAnalysis};
+use specmt_spawn::{profile_pairs, ProfileConfig};
+use specmt_trace::Trace;
+use specmt_workloads::{self as workloads, Scale};
 
 fn bench_analysis(c: &mut Criterion) {
     let w = workloads::gcc(Scale::Small);

@@ -8,11 +8,11 @@
 //! `cargo bench` runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use specmt::analysis::{BasicBlocks, BlockStream, ReachingAnalysis};
-use specmt::sim::SimConfig;
-use specmt::spawn::ProfileConfig;
-use specmt::trace::Trace;
-use specmt::workloads::{self, Scale};
+use specmt_analysis::{BasicBlocks, BlockStream, ReachingAnalysis};
+use specmt_sim::SimConfig;
+use specmt_spawn::ProfileConfig;
+use specmt_trace::Trace;
+use specmt_workloads::{self as workloads, Scale};
 
 fn scale() -> Scale {
     match std::env::var("SPECMT_SCALE").as_deref() {
@@ -41,7 +41,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| Trace::generate(w.program.clone(), w.step_budget).expect("traces"))
     });
 
-    let bench = specmt::Bench::from_workload(workloads::gcc(scale)).expect("traces");
+    let bench = specmt_bench::Bench::from_workload(workloads::gcc(scale)).expect("traces");
     let table = bench.profile_table(&ProfileConfig::default()).table;
     c.bench_function("sim_paper16_gcc", |b| {
         b.iter(|| bench.run(SimConfig::paper(16), &table).expect("simulation"))

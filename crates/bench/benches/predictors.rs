@@ -1,8 +1,8 @@
 //! Microbenchmarks for the predictor tables (gshare, stride, FCM).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use specmt::isa::Pc;
-use specmt::predict::{
+use specmt_isa::Pc;
+use specmt_predict::{
     FcmPredictor, Gshare, LastValuePredictor, PredKey, StridePredictor, ValuePredictor,
     PAPER_BUDGET_BYTES,
 };

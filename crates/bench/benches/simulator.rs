@@ -2,10 +2,10 @@
 //! for the single-threaded baseline and a 16-unit speculative run.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use specmt::sim::{SimConfig, Simulator};
-use specmt::spawn::{profile_pairs, ProfileConfig};
-use specmt::trace::Trace;
-use specmt::workloads::{self, Scale};
+use specmt_sim::{SimConfig, Simulator};
+use specmt_spawn::{profile_pairs, ProfileConfig};
+use specmt_trace::Trace;
+use specmt_workloads::{self as workloads, Scale};
 
 fn bench_simulator(c: &mut Criterion) {
     let w = workloads::ijpeg(Scale::Small);
@@ -25,7 +25,7 @@ fn bench_simulator(c: &mut Criterion) {
             Simulator::with_table(
                 &trace,
                 SimConfig::paper(16)
-                    .with_value_predictor(specmt::predict::ValuePredictorKind::Stride),
+                    .with_value_predictor(specmt_predict::ValuePredictorKind::Stride),
                 &table,
             )
             .run()

@@ -2,8 +2,8 @@
 //! the substrate every experiment starts from (our stand-in for ATOM).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use specmt::trace::Trace;
-use specmt::workloads::{self, Scale};
+use specmt_trace::Trace;
+use specmt_workloads::{self as workloads, Scale};
 
 fn bench_tracegen(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracegen");

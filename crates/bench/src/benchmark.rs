@@ -1,0 +1,278 @@
+//! The [`Bench`] convenience wrapper: one ready-to-simulate benchmark.
+
+use std::sync::OnceLock;
+
+use specmt_sim::{SimConfig, SimError, SimResult, Simulator};
+use specmt_spawn::{
+    heuristic_pairs, profile_pairs, HeuristicSet, ProfileConfig, ProfileResult, SpawnTable,
+};
+use specmt_trace::{Trace, TraceError};
+use specmt_workloads::{Scale, Workload};
+
+/// A ready-to-simulate benchmark: the workload, its dynamic trace, and a
+/// lazily-computed single-threaded baseline.
+///
+/// Wraps the common experiment steps — generate the trace once, derive spawn
+/// tables from it, run simulator configurations against it, and convert
+/// cycles to speed-ups over the sequential baseline — so examples and the
+/// figure harness stay small.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_bench::Bench;
+/// use specmt_sim::SimConfig;
+/// use specmt_spawn::ProfileConfig;
+/// use specmt_workloads::Scale;
+///
+/// let bench = Bench::load("ijpeg", Scale::Small)?;
+/// let profile = bench.profile_table(&ProfileConfig::default());
+/// let result = bench.run(SimConfig::paper(16), &profile.table)?;
+/// let speedup = bench.speedup(&result)?;
+/// assert!(speedup > 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Bench {
+    workload: Workload,
+    trace: Trace,
+    baseline: OnceLock<u64>,
+}
+
+impl Bench {
+    /// Loads a named workload at `scale` and generates its trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if emulation faults; unknown names yield the
+    /// same error domain via a missing-workload panic-free path.
+    pub fn load(name: &str, scale: Scale) -> Result<Bench, BenchError> {
+        let workload =
+            specmt_workloads::by_name(name, scale).ok_or_else(|| BenchError::UnknownWorkload {
+                name: name.to_owned(),
+            })?;
+        Bench::from_workload(workload)
+    }
+
+    /// Wraps an already-built workload, generating its trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Trace`] if emulation faults or exceeds the
+    /// workload's step budget.
+    pub fn from_workload(workload: Workload) -> Result<Bench, BenchError> {
+        let trace = Trace::generate(workload.program.clone(), workload.step_budget)
+            .map_err(BenchError::Trace)?;
+        Ok(Bench {
+            workload,
+            trace,
+            baseline: OnceLock::new(),
+        })
+    }
+
+    /// Reassembles a benchmark from a previously generated (typically
+    /// disk-cached) trace, optionally seeding the baseline cycle count so
+    /// warm starts skip the baseline simulation too.
+    ///
+    /// The trace is never trusted: it must be structurally valid for the
+    /// workload's program and must reproduce the workload's expected
+    /// checksum, so a stale or corrupted cache entry is rejected here
+    /// rather than silently polluting results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Trace`] if the trace references instructions
+    /// outside the program, or [`BenchError::ChecksumMismatch`] if it does
+    /// not reproduce the workload's checksum.
+    pub fn from_cached(
+        workload: Workload,
+        trace: Trace,
+        baseline: Option<u64>,
+    ) -> Result<Bench, BenchError> {
+        trace.validate().map_err(BenchError::Trace)?;
+        let actual = trace.final_reg(specmt_isa::Reg::R10);
+        if actual != workload.expected_checksum {
+            return Err(BenchError::ChecksumMismatch {
+                name: workload.name,
+                expected: workload.expected_checksum,
+                actual,
+            });
+        }
+        let bench = Bench {
+            workload,
+            trace,
+            baseline: OnceLock::new(),
+        };
+        if let Some(cycles) = baseline {
+            let _ = bench.baseline.set(cycles);
+        }
+        Ok(bench)
+    }
+
+    /// The whole suite at `scale`, in the paper's reporting order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first workload's error, if any fails to trace.
+    pub fn suite(scale: Scale) -> Result<Vec<Bench>, BenchError> {
+        specmt_workloads::suite(scale)
+            .into_iter()
+            .map(Bench::from_workload)
+            .collect()
+    }
+
+    /// The underlying workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The benchmark's name.
+    pub fn name(&self) -> &'static str {
+        self.workload.name
+    }
+
+    /// The dynamic trace (shared by profiling and simulation, like the
+    /// paper's use of the same training input for both).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Cycles of the single-threaded baseline (computed once, cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Sim`] if the baseline simulation fails (it
+    /// cannot, for suite workloads, unless the model itself is broken).
+    pub fn baseline_cycles(&self) -> Result<u64, BenchError> {
+        if let Some(&cycles) = self.baseline.get() {
+            return Ok(cycles);
+        }
+        let cycles = Simulator::new(&self.trace, SimConfig::single_threaded())
+            .run()
+            .map_err(BenchError::Sim)?
+            .cycles;
+        Ok(*self.baseline.get_or_init(|| cycles))
+    }
+
+    /// Runs the profile-based selector (§3.1) on this benchmark's trace.
+    pub fn profile_table(&self, config: &ProfileConfig) -> ProfileResult {
+        profile_pairs(&self.trace, config)
+    }
+
+    /// Builds the construct-heuristic table for this benchmark.
+    pub fn heuristic_table(&self, set: HeuristicSet) -> SpawnTable {
+        heuristic_pairs(&self.workload.program, set)
+    }
+
+    /// Simulates this benchmark under `config` with the given spawn table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Sim`] for an invalid configuration or a failed
+    /// post-run invariant audit (see [`SimError`]).
+    pub fn run(&self, config: SimConfig, table: &SpawnTable) -> Result<SimResult, BenchError> {
+        Simulator::with_table(&self.trace, config, table)
+            .run()
+            .map_err(BenchError::Sim)
+    }
+
+    /// Speed-up of `result` over the single-threaded baseline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bench::baseline_cycles`].
+    pub fn speedup(&self, result: &SimResult) -> Result<f64, BenchError> {
+        Ok(self.baseline_cycles()? as f64 / result.cycles as f64)
+    }
+}
+
+/// Errors from [`Bench`] construction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// The workload name is not part of the suite.
+    UnknownWorkload {
+        /// The unrecognised name.
+        name: String,
+    },
+    /// Trace generation failed.
+    Trace(TraceError),
+    /// Simulation failed (invalid configuration or a broken invariant).
+    Sim(SimError),
+    /// A supplied trace does not reproduce the workload's checksum
+    /// (possible only via [`Bench::from_cached`]).
+    ChecksumMismatch {
+        /// The workload the trace claimed to belong to.
+        name: &'static str,
+        /// The workload's reference checksum.
+        expected: u64,
+        /// The checksum the trace actually left in `r10`.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::UnknownWorkload { name } => {
+                write!(
+                    f,
+                    "unknown workload `{name}` (see specmt::workloads::SUITE_NAMES)"
+                )
+            }
+            BenchError::Trace(e) => write!(f, "trace generation failed: {e}"),
+            BenchError::Sim(e) => write!(f, "simulation failed: {e}"),
+            BenchError::ChecksumMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "trace for `{name}` left checksum {actual:#x}, expected {expected:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Trace(e) => Some(e),
+            BenchError::Sim(e) => Some(e),
+            BenchError::UnknownWorkload { .. } | BenchError::ChecksumMismatch { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_unknown_workload_errors() {
+        let err = Bench::load("eon", Scale::Tiny).unwrap_err();
+        assert!(err.to_string().contains("eon"));
+    }
+
+    #[test]
+    fn bench_round_trip() {
+        let b = Bench::load("compress", Scale::Tiny).unwrap();
+        assert_eq!(b.name(), "compress");
+        let base = b.baseline_cycles().unwrap();
+        assert!(base > 0);
+        // Baseline is cached and stable.
+        assert_eq!(b.baseline_cycles().unwrap(), base);
+        let heur = b.heuristic_table(HeuristicSet::all());
+        let r = b.run(SimConfig::paper(4), &heur).unwrap();
+        assert!(b.speedup(&r).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn checksum_matches_reference_through_bench() {
+        let b = Bench::load("go", Scale::Tiny).unwrap();
+        assert_eq!(
+            b.trace().final_reg(specmt_isa::Reg::R10),
+            b.workload().expected_checksum
+        );
+    }
+}

@@ -10,8 +10,8 @@
 //! * `block_stream_ms`, `profile_pairs_ms` — trace → analysis stages;
 //! * `sim_paper16_gcc_ms` — a full paper-configuration simulation;
 //! * `suite_load_cold_ms` / `suite_load_warm_ms` — [`Harness::load_at`]
-//!   with an empty vs populated disk cache (what every `fig*` binary pays
-//!   at startup, before vs after this cache existed).
+//!   with an empty vs populated disk cache (what `specmt bench` pays at
+//!   startup, before vs after this cache existed).
 //!
 //! The JSON is merged per scale, so tiny (CI) and medium (headline)
 //! sections coexist. Derived ratios record the before/after story:
@@ -28,12 +28,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use serde_json::json;
-use specmt::analysis::{BasicBlocks, BlockStream, ReachingAnalysis};
-use specmt::sim::SimConfig;
-use specmt::spawn::{profile_pairs, ProfileConfig};
-use specmt::trace::Trace;
-use specmt::workloads;
+use specmt_analysis::{BasicBlocks, BlockStream, ReachingAnalysis};
 use specmt_bench::{scale_from_env, Harness};
+use specmt_sim::SimConfig;
+use specmt_spawn::{profile_pairs, ProfileConfig};
+use specmt_trace::Trace;
+use specmt_workloads as workloads;
 
 /// Best (minimum) wall-clock milliseconds over `runs` calls, after one
 /// warm-up call. The minimum is the standard microbenchmark statistic on a
@@ -117,7 +117,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let blockstream = time_ms(runs, || BlockStream::new(&trace, &bbs));
     let profile = time_ms(runs, || profile_pairs(&trace, &ProfileConfig::default()));
 
-    let bench = specmt::Bench::from_workload(workloads::gcc(scale))?;
+    let bench = specmt_bench::Bench::from_workload(workloads::gcc(scale))?;
     let table = bench.profile_table(&ProfileConfig::default()).table;
     let sim = time_ms(runs, || {
         bench

@@ -1,10 +1,11 @@
 //! Persistent content-addressed cache for the trace → analysis pipeline.
 //!
-//! Every `fig*` binary starts by loading the whole suite: generate eight
+//! Every figure run starts by loading the whole suite: generate eight
 //! traces, profile each one, and simulate each single-threaded baseline.
-//! Within one process [`crate::Harness`] does that exactly once, but the 18
-//! binaries are separate processes, so without a disk cache the identical
-//! work is redone 18 times. This module memoizes the expensive products —
+//! Within one process [`crate::Harness`] does that exactly once, but
+//! successive `specmt bench` invocations are separate processes, so without
+//! a disk cache the identical work is redone every time. This module
+//! memoizes the expensive products —
 //! the trace (in the `SMTR` binary format), the default profile result, the
 //! heuristic table, and the baseline cycle count — under
 //! `target/specmt-cache/`.
@@ -23,7 +24,7 @@
 //!
 //! Cache entries are never trusted: the trace is structurally re-validated
 //! and must reproduce the workload's expected checksum
-//! ([`specmt::Bench::from_cached`]), and the metadata must parse. Any
+//! ([`crate::Bench::from_cached`]), and the metadata must parse. Any
 //! failure — truncation, corruption, a stale key collision — is treated as
 //! a miss and the entry is regenerated. Writes go through a temp file +
 //! rename so a crashed process cannot leave a torn entry behind.
@@ -34,10 +35,11 @@
 use std::fs;
 use std::path::PathBuf;
 
-use specmt::spawn::{ProfileResult, SpawnTable};
-use specmt::trace::Trace;
-use specmt::workloads::{Scale, Workload};
-use specmt::Bench;
+use specmt_spawn::{ProfileResult, SpawnTable};
+use specmt_trace::Trace;
+use specmt_workloads::{Scale, Workload};
+
+use crate::Bench;
 
 /// Whether the persistent cache is enabled (`SPECMT_CACHE` not `off`/`0`).
 pub fn enabled() -> bool {

@@ -1,24 +1,52 @@
-//! One function per figure of the paper's evaluation.
+//! The figure registry: one entry per figure of the paper's evaluation.
 //!
-//! Every function regenerates the corresponding table/series and returns a
-//! [`Figure`] carrying both the rendered table and machine-readable JSON.
-//! Paper reference values quoted in the notes come from §4 of Marcuello &
-//! González (HPCA 2002).
+//! Each paper figure is a declarative [`ExperimentSpec`] (benchmarks ×
+//! scheme variants) whose grid the figure builder formats; the few figures
+//! with derived columns (Figure 8's ratio, Figure 11's slow-down, Figure
+//! 12's means-only table) post-process the same grid. Paper reference
+//! values quoted in the notes come from §4 of Marcuello & González
+//! (HPCA 2002).
 //!
-//! All functions take the already-loaded [`Harness`] — they never regenerate
-//! traces or profile tables themselves, so running every figure in one
-//! process (the `all` binary) does the expensive pipeline work exactly once.
+//! [`registry`] lists every figure the `specmt bench` CLI can run; the
+//! `all` target is the [`FigureGroup::Paper`] group in paper order. The
+//! [`FigureGroup::Extra`] entries are this reproduction's own studies (the
+//! parameter ablations and the cross-input validation), formerly separate
+//! binaries.
+//!
+//! All builders take the already-loaded [`Harness`] — they never regenerate
+//! traces or spawn tables themselves, so running every figure in one
+//! process does the expensive pipeline work exactly once.
 
 use serde_json::json;
 
-use specmt::predict::ValuePredictorKind;
-use specmt::sim::{RemovalPolicy, SimConfig};
-use specmt::stats::{arithmetic_mean, harmonic_mean, Table};
+use specmt_predict::ValuePredictorKind;
+use specmt_sim::{ConfigDelta, RemovalPolicy, SimConfig};
+use specmt_spawn::SchemeParams;
+use specmt_stats::{arithmetic_mean, harmonic_mean, Table};
 
-use crate::{best_profile_config, f2, pct, standard_removal, Figure, Harness, HarnessError};
+use crate::{
+    f2, pct, standard_removal, ExperimentSpec, Figure, Harness, HarnessError, Metric, Variant,
+};
 
-fn hmean_of(rows: &[(&'static str, f64, specmt::sim::SimResult)]) -> f64 {
-    harmonic_mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())
+/// The Figure 7b minimum-size enforcement as a delta.
+const MIN32: ConfigDelta = ConfigDelta::MinObservedSize(Some(32));
+const STRIDE: ConfigDelta = ConfigDelta::ValuePredictor(ValuePredictorKind::Stride);
+const FCM: ConfigDelta = ConfigDelta::ValuePredictor(ValuePredictorKind::Fcm);
+const OVH8: ConfigDelta = ConfigDelta::InitOverhead(8);
+
+fn removal(alone_cycles: u64, occurrences: u32) -> ConfigDelta {
+    ConfigDelta::Removal(Some(RemovalPolicy {
+        alone_cycles,
+        occurrences,
+        reinstate_after: None,
+        max_companions: 0,
+    }))
+}
+
+/// The paper's per-benchmark removal scheme (200 cycles for compress) as a
+/// [`Variant::per_bench`] hook.
+fn std_removal(bench_name: &str) -> Vec<ConfigDelta> {
+    vec![ConfigDelta::Removal(Some(standard_removal(bench_name)))]
 }
 
 /// Figure 2: number of selected basic-block pairs and number of distinct
@@ -63,7 +91,7 @@ pub fn fig2(h: &Harness) -> Result<Figure, HarnessError> {
         f2(arithmetic_mean(&sps)),
     ]);
     Ok(Figure {
-        id: "fig2",
+        id: "fig2".into(),
         title: "Selected spawning pairs (min prob 0.95, min distance 32)".into(),
         table,
         notes: vec![
@@ -81,22 +109,21 @@ pub fn fig2(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig3(h: &Harness) -> Result<Figure, HarnessError> {
-    let rows = h.run_profile(&SimConfig::paper(16))?;
-    let mut table = Table::new(&["bench", "speed-up"]);
-    for (name, sp, _) in &rows {
-        table.row_owned(vec![(*name).into(), f2(*sp)]);
-    }
-    let hm = hmean_of(&rows);
-    table.row_owned(vec!["Hmean".into(), f2(hm)]);
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![Variant::speedup("speed-up", "profile", vec![])],
+    )
+    .run(h)?;
+    let hm = grid.means[0];
     Ok(Figure {
-        id: "fig3",
+        id: "fig3".into(),
         title: "Speed-up, 16 TUs, profile-based spawning, perfect value prediction".into(),
-        table,
+        table: grid.table_with(f2),
         notes: vec![format!(
             "Paper: Hmean 7.2, ijpeg 11.9 (highest). Measured Hmean {}.",
             f2(hm)
         )],
-        json: json!({"speedups": rows.iter().map(|(n, s, _)| json!({"bench": n, "speedup": s})).collect::<Vec<_>>(), "hmean": hm}),
+        json: json!({"speedups": grid.bench_names.iter().zip(&grid.values[0]).map(|(n, s)| json!({"bench": n, "speedup": s})).collect::<Vec<_>>(), "hmean": hm}),
     })
 }
 
@@ -106,25 +133,23 @@ pub fn fig3(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig4(h: &Harness) -> Result<Figure, HarnessError> {
-    let rows = h.run_profile(&SimConfig::paper(16))?;
-    let mut table = Table::new(&["bench", "active threads"]);
-    let mut acts = Vec::new();
-    for (name, _, r) in &rows {
-        let a = r.avg_active_threads();
-        acts.push(a);
-        table.row_owned(vec![(*name).into(), f2(a)]);
-    }
-    let am = arithmetic_mean(&acts);
-    table.row_owned(vec!["Amean".into(), f2(am)]);
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![Variant::speedup("active threads", "profile", vec![])
+            .with_metric(Metric::ActiveThreads)],
+    )
+    .amean()
+    .run(h)?;
+    let am = grid.means[0];
     Ok(Figure {
-        id: "fig4",
+        id: "fig4".into(),
         title: "Average active threads, 16 TUs, profile-based spawning".into(),
         notes: vec![format!(
             "Paper: Amean 7.5, ijpeg 9.0. Measured Amean {}.",
             f2(am)
         )],
-        table,
-        json: json!({"active": rows.iter().map(|(n, _, r)| json!({"bench": n, "active": r.avg_active_threads()})).collect::<Vec<_>>(), "amean": am}),
+        table: grid.table_with(f2),
+        json: json!({"active": grid.bench_names.iter().zip(&grid.values[0]).map(|(n, a)| json!({"bench": n, "active": a})).collect::<Vec<_>>(), "amean": am}),
     })
 }
 
@@ -135,48 +160,25 @@ pub fn fig4(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig5a(h: &Harness) -> Result<Figure, HarnessError> {
-    let configs: [(&str, Option<u64>); 3] = [
-        ("no removal", None),
-        ("removal 50", Some(50)),
-        ("removal 200", Some(200)),
-    ];
-    let mut table = Table::new(&["bench", "no removal", "removal 50", "removal 200"]);
-    let mut series = vec![Vec::new(); 3];
-    for ctx in &h.benches {
-        let mut cells = vec![ctx.bench.name().to_string()];
-        for (i, (_, alone)) in configs.iter().enumerate() {
-            let mut cfg = SimConfig::paper(16);
-            if let Some(a) = alone {
-                cfg = cfg.with_removal(RemovalPolicy {
-                    alone_cycles: *a,
-                    occurrences: 1,
-                    reinstate_after: None,
-                    max_companions: 0,
-                });
-            }
-            let r = ctx.sim(cfg, &ctx.profile.table)?;
-            let sp = ctx.speedup(&r)?;
-            series[i].push(sp);
-            cells.push(f2(sp));
-        }
-        table.row_owned(cells);
-    }
-    let hmeans: Vec<f64> = series.iter().map(|s| harmonic_mean(s)).collect();
-    table.row_owned(
-        std::iter::once("Hmean".to_string())
-            .chain(hmeans.iter().map(|&v| f2(v)))
-            .collect(),
-    );
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("no removal", "profile", vec![]),
+            Variant::speedup("removal 50", "profile", vec![removal(50, 1)]),
+            Variant::speedup("removal 200", "profile", vec![removal(200, 1)]),
+        ],
+    )
+    .run(h)?;
     Ok(Figure {
-        id: "fig5a",
+        id: "fig5a".into(),
         title: "Pair removal after executing alone (1 occurrence removes)".into(),
-        table,
+        table: grid.table_with(f2),
         notes: vec![
             "Paper: 200-cycle removal ~10% over no removal; compress collapses at 50".into(),
             "cycles (too few pairs). With our small synthetic tables, first-occurrence".into(),
             "removal collapses more benchmarks — Figure 5b's delayed removal recovers them.".into(),
         ],
-        json: json!({"hmeans": {"none": hmeans[0], "alone50": hmeans[1], "alone200": hmeans[2]}}),
+        json: json!({"hmeans": {"none": grid.means[0], "alone50": grid.means[1], "alone200": grid.means[2]}}),
     })
 }
 
@@ -186,40 +188,24 @@ pub fn fig5a(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig5b(h: &Harness) -> Result<Figure, HarnessError> {
-    let occs = [1u32, 8, 16];
-    let mut table = Table::new(&["bench", "1 occurrence", "8 occurrences", "16 occurrences"]);
-    let mut series = vec![Vec::new(); 3];
-    for ctx in &h.benches {
-        let mut cells = vec![ctx.bench.name().to_string()];
-        for (i, occ) in occs.iter().enumerate() {
-            let cfg = SimConfig::paper(16).with_removal(RemovalPolicy {
-                alone_cycles: 50,
-                occurrences: *occ,
-                reinstate_after: None,
-                max_companions: 0,
-            });
-            let r = ctx.sim(cfg, &ctx.profile.table)?;
-            let sp = ctx.speedup(&r)?;
-            series[i].push(sp);
-            cells.push(f2(sp));
-        }
-        table.row_owned(cells);
-    }
-    let hmeans: Vec<f64> = series.iter().map(|s| harmonic_mean(s)).collect();
-    table.row_owned(
-        std::iter::once("Hmean".to_string())
-            .chain(hmeans.iter().map(|&v| f2(v)))
-            .collect(),
-    );
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("1 occurrence", "profile", vec![removal(50, 1)]),
+            Variant::speedup("8 occurrences", "profile", vec![removal(50, 8)]),
+            Variant::speedup("16 occurrences", "profile", vec![removal(50, 16)]),
+        ],
+    )
+    .run(h)?;
     Ok(Figure {
-        id: "fig5b",
+        id: "fig5b".into(),
         title: "Delayed pair removal: occurrences before cancelling (50-cycle scheme)".into(),
-        table,
+        table: grid.table_with(f2),
         notes: vec![
             "Paper: delaying mostly helps compress (hugely) and slightly hurts the rest.".into(),
             "Measured: the delay rescues every benchmark that collapsed at 1 occurrence.".into(),
         ],
-        json: json!({"hmeans": {"occ1": hmeans[0], "occ8": hmeans[1], "occ16": hmeans[2]}}),
+        json: json!({"hmeans": {"occ1": grid.means[0], "occ8": grid.means[1], "occ16": grid.means[2]}}),
     })
 }
 
@@ -230,27 +216,20 @@ pub fn fig5b(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig6(h: &Harness) -> Result<Figure, HarnessError> {
-    let mut table = Table::new(&["bench", "removal", "reassign"]);
-    let mut a = Vec::new();
-    let mut b = Vec::new();
-    for ctx in &h.benches {
-        let base_cfg = SimConfig::paper(16).with_removal(standard_removal(ctx.bench.name()));
-        let mut re_cfg = base_cfg.clone();
-        re_cfg.reassign = true;
-        let r1 = ctx.sim(base_cfg, &ctx.profile.table)?;
-        let r2 = ctx.sim(re_cfg, &ctx.profile.table)?;
-        let s1 = ctx.speedup(&r1)?;
-        let s2 = ctx.speedup(&r2)?;
-        a.push(s1);
-        b.push(s2);
-        table.row_owned(vec![ctx.bench.name().into(), f2(s1), f2(s2)]);
-    }
-    let (h1, h2) = (harmonic_mean(&a), harmonic_mean(&b));
-    table.row_owned(vec!["Hmean".into(), f2(h1), f2(h2)]);
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("removal", "profile", vec![]).with_per_bench(std_removal),
+            Variant::speedup("reassign", "profile", vec![ConfigDelta::Reassign(true)])
+                .with_per_bench(std_removal),
+        ],
+    )
+    .run(h)?;
+    let (h1, h2) = (grid.means[0], grid.means[1]);
     Ok(Figure {
-        id: "fig6",
+        id: "fig6".into(),
         title: "Reassign policy vs the 50-cycle removal scheme (200 for compress)".into(),
-        table,
+        table: grid.table_with(f2),
         notes: vec![format!(
             "Paper: reassign is slightly worse (falls back to too-close CQIPs). Measured: {} vs {}.",
             f2(h1),
@@ -267,31 +246,29 @@ pub fn fig6(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig7a(h: &Harness) -> Result<Figure, HarnessError> {
-    let mut table = Table::new(&["bench", "mean size", "median size"]);
-    let mut sizes = Vec::new();
-    let mut medians = Vec::new();
-    for ctx in &h.benches {
-        let cfg = SimConfig::paper(16).with_removal(standard_removal(ctx.bench.name()));
-        let r = ctx.sim(cfg, &ctx.profile.table)?;
-        let s = r.avg_thread_size();
-        let m = r.median_thread_size();
-        sizes.push(s);
-        medians.push(m);
-        table.row_owned(vec![ctx.bench.name().into(), f2(s), f2(m)]);
-    }
-    let am = arithmetic_mean(&sizes);
-    let md = arithmetic_mean(&medians);
-    table.row_owned(vec!["Amean".into(), f2(am), f2(md)]);
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("mean size", "profile", vec![])
+                .with_metric(Metric::MeanThreadSize)
+                .with_per_bench(std_removal),
+            Variant::speedup("median size", "profile", vec![])
+                .with_metric(Metric::MedianThreadSize)
+                .with_per_bench(std_removal),
+        ],
+    )
+    .amean()
+    .run(h)?;
     Ok(Figure {
-        id: "fig7a",
+        id: "fig7a".into(),
         title: "Committed thread size (instructions), standard removal".into(),
-        table,
+        table: grid.table_with(f2),
         notes: vec![
             "Paper: most benchmarks below the 32-instruction selection minimum — the".into(),
             "overlapped spawning of later pairs cuts threads short. The *median* shows".into(),
             "it here too; the mean is skewed by a few giant threads.".into(),
         ],
-        json: json!({"amean": am, "median_amean": md, "sizes": sizes, "medians": medians}),
+        json: json!({"amean": grid.means[0], "median_amean": grid.means[1], "sizes": grid.values[0].clone(), "medians": grid.values[1].clone()}),
     })
 }
 
@@ -306,26 +283,19 @@ pub fn fig7a(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig7b(h: &Harness) -> Result<Figure, HarnessError> {
-    let mut table = Table::new(&["bench", "no minimum", "minimum 32"]);
-    let mut a = Vec::new();
-    let mut b = Vec::new();
-    for ctx in &h.benches {
-        let base_cfg = SimConfig::paper(16);
-        let min_cfg = crate::with_min_size(base_cfg.clone());
-        let base = ctx.sim(base_cfg, &ctx.profile.table)?;
-        let min = ctx.sim(min_cfg, &ctx.profile.table)?;
-        let s1 = ctx.speedup(&base)?;
-        let s2 = ctx.speedup(&min)?;
-        a.push(s1);
-        b.push(s2);
-        table.row_owned(vec![ctx.bench.name().into(), f2(s1), f2(s2)]);
-    }
-    let (h1, h2) = (harmonic_mean(&a), harmonic_mean(&b));
-    table.row_owned(vec!["Hmean".into(), f2(h1), f2(h2)]);
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("no minimum", "profile", vec![]),
+            Variant::speedup("minimum 32", "profile", vec![MIN32]),
+        ],
+    )
+    .run(h)?;
+    let (h1, h2) = (grid.means[0], grid.means[1]);
     Ok(Figure {
-        id: "fig7b",
+        id: "fig7b".into(),
         title: "Enforcing a minimum observed thread size of 32".into(),
-        table,
+        table: grid.table_with(f2),
         notes: vec![format!(
             "Paper: ~10% improvement. Measured: {} -> {} ({:+.1}%).",
             f2(h1),
@@ -343,19 +313,26 @@ pub fn fig7b(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig8(h: &Harness) -> Result<Figure, HarnessError> {
-    let prof = h.run_with(&best_profile_config(16), |c| &c.profile.table)?;
-    let heur = h.run_heuristics(&SimConfig::paper(16))?;
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("profile", "profile", vec![MIN32]),
+            Variant::speedup("heuristics", "heuristics", vec![]),
+        ],
+    )
+    .run(h)?;
     let mut table = Table::new(&["bench", "profile", "heuristics", "ratio"]);
     let mut ratios = Vec::new();
-    for ((name, sp, _), (_, sh, _)) in prof.iter().zip(&heur) {
+    for (bi, name) in grid.bench_names.iter().enumerate() {
+        let (sp, sh) = (grid.values[0][bi], grid.values[1][bi]);
         let ratio = sp / sh;
         ratios.push(ratio);
-        table.row_owned(vec![(*name).into(), f2(*sp), f2(*sh), f2(ratio)]);
+        table.row_owned(vec![(*name).into(), f2(sp), f2(sh), f2(ratio)]);
     }
-    let (hp, hh) = (hmean_of(&prof), hmean_of(&heur));
+    let (hp, hh) = (grid.means[0], grid.means[1]);
     table.row_owned(vec!["Hmean".into(), f2(hp), f2(hh), f2(hp / hh)]);
     Ok(Figure {
-        id: "fig8",
+        id: "fig8".into(),
         title: "Profile-based policy vs combined heuristics (speed-up ratio)".into(),
         table,
         notes: vec![format!(
@@ -373,53 +350,26 @@ pub fn fig8(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig9a(h: &Harness) -> Result<Figure, HarnessError> {
-    let kinds = [ValuePredictorKind::Stride, ValuePredictorKind::Fcm];
-    let mut table = Table::new(&[
-        "bench",
-        "stride+profile",
-        "fcm+profile",
-        "stride+heur",
-        "fcm+heur",
-    ]);
-    let mut sums = vec![Vec::new(); 4];
-    for ctx in &h.benches {
-        let mut cells = vec![ctx.bench.name().to_string()];
-        let mut vals = Vec::new();
-        for kind in kinds {
-            for profile in [true, false] {
-                let (cfg, t) = if profile {
-                    (
-                        best_profile_config(16).with_value_predictor(kind),
-                        &ctx.profile.table,
-                    )
-                } else {
-                    (
-                        SimConfig::paper(16).with_value_predictor(kind),
-                        &ctx.heuristics,
-                    )
-                };
-                let r = ctx.sim(cfg, t)?;
-                vals.push(r.value_hit_ratio());
-            }
-        }
-        // vals = [stride+prof, stride+heur, fcm+prof, fcm+heur]
-        let ordered = [vals[0], vals[2], vals[1], vals[3]];
-        for (i, v) in ordered.iter().enumerate() {
-            sums[i].push(*v);
-            cells.push(pct(*v));
-        }
-        table.row_owned(cells);
-    }
-    let means: Vec<f64> = sums.iter().map(|s| arithmetic_mean(s)).collect();
-    table.row_owned(
-        std::iter::once("Amean".to_string())
-            .chain(means.iter().map(|&v| pct(v)))
-            .collect(),
-    );
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("stride+profile", "profile", vec![MIN32, STRIDE])
+                .with_metric(Metric::ValueHitRatio),
+            Variant::speedup("fcm+profile", "profile", vec![MIN32, FCM])
+                .with_metric(Metric::ValueHitRatio),
+            Variant::speedup("stride+heur", "heuristics", vec![STRIDE])
+                .with_metric(Metric::ValueHitRatio),
+            Variant::speedup("fcm+heur", "heuristics", vec![FCM])
+                .with_metric(Metric::ValueHitRatio),
+        ],
+    )
+    .amean()
+    .run(h)?;
+    let means = &grid.means;
     Ok(Figure {
-        id: "fig9a",
+        id: "fig9a".into(),
         title: "Value-prediction hit ratio (16 KB tables, thread live-ins only)".into(),
-        table,
+        table: grid.table_with(pct),
         notes: vec![format!(
             "Paper: ~70% for all four combinations. Measured means: {} / {} / {} / {}.",
             pct(means[0]),
@@ -438,54 +388,21 @@ pub fn fig9a(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig9b(h: &Harness) -> Result<Figure, HarnessError> {
-    type Runs = Vec<(&'static str, f64, specmt::sim::SimResult)>;
-    let runs: Vec<(&str, Runs)> = vec![
-        (
-            "perfect+profile",
-            h.run_with(&best_profile_config(16), |c| &c.profile.table)?,
-        ),
-        (
-            "stride+profile",
-            h.run_with(
-                &best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride),
-                |c| &c.profile.table,
-            )?,
-        ),
-        (
-            "perfect+heuristics",
-            h.run_heuristics(&SimConfig::paper(16))?,
-        ),
-        (
-            "stride+heuristics",
-            h.run_heuristics(
-                &SimConfig::paper(16).with_value_predictor(ValuePredictorKind::Stride),
-            )?,
-        ),
-    ];
-    let mut table = Table::new(&[
-        "bench",
-        "perfect+profile",
-        "stride+profile",
-        "perfect+heur",
-        "stride+heur",
-    ]);
-    for (i, ctx) in h.benches.iter().enumerate() {
-        let mut cells = vec![ctx.bench.name().to_string()];
-        for (_, rows) in &runs {
-            cells.push(f2(rows[i].1));
-        }
-        table.row_owned(cells);
-    }
-    let hmeans: Vec<f64> = runs.iter().map(|(_, rows)| hmean_of(rows)).collect();
-    table.row_owned(
-        std::iter::once("Hmean".to_string())
-            .chain(hmeans.iter().map(|&v| f2(v)))
-            .collect(),
-    );
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("perfect+profile", "profile", vec![MIN32]),
+            Variant::speedup("stride+profile", "profile", vec![MIN32, STRIDE]),
+            Variant::speedup("perfect+heur", "heuristics", vec![]),
+            Variant::speedup("stride+heur", "heuristics", vec![STRIDE]),
+        ],
+    )
+    .run(h)?;
+    let hmeans = &grid.means;
     Ok(Figure {
-        id: "fig9b",
+        id: "fig9b".into(),
         title: "Speed-ups with a realistic stride value predictor".into(),
-        table,
+        table: grid.table_with(f2),
         notes: vec![
             format!(
                 "Paper: profile 7.2 -> >6 with stride (-34%), heuristics -> ~5.5 (-30%), gap narrows to 13%."
@@ -507,48 +424,34 @@ pub fn fig9b(h: &Harness) -> Result<Figure, HarnessError> {
 /// Figure 10a: prediction accuracy when CQIPs are chosen by the
 /// *independent* / *predictable* criteria.
 ///
-/// The alternative-criterion tables come from
-/// [`crate::BenchCtx::criterion_tables`], so fig10a and fig10b share one
-/// computation per process.
+/// The alternative-criterion tables come from the `profile-independent` /
+/// `profile-predictable` schemes; the per-benchmark memo means fig10a and
+/// fig10b share one selection per process.
 ///
 /// # Errors
 ///
 /// As [`fig2`].
 pub fn fig10a(h: &Harness) -> Result<Figure, HarnessError> {
-    let kinds = [ValuePredictorKind::Stride, ValuePredictorKind::Fcm];
-    let mut table = Table::new(&[
-        "bench",
-        "stride+indep",
-        "fcm+indep",
-        "stride+pred",
-        "fcm+pred",
-    ]);
-    let mut sums = vec![Vec::new(); 4];
-    for ctx in &h.benches {
-        let mut cells = vec![ctx.bench.name().to_string()];
-        let mut col = 0;
-        for t in ctx.criterion_tables() {
-            for kind in kinds {
-                let cfg = best_profile_config(16).with_value_predictor(kind);
-                let r = ctx.sim(cfg, t)?;
-                let v = r.value_hit_ratio();
-                sums[col].push(v);
-                cells.push(pct(v));
-                col += 1;
-            }
-        }
-        table.row_owned(cells);
-    }
-    let means: Vec<f64> = sums.iter().map(|s| arithmetic_mean(s)).collect();
-    table.row_owned(
-        std::iter::once("Amean".to_string())
-            .chain(means.iter().map(|&v| pct(v)))
-            .collect(),
-    );
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("stride+indep", "profile-independent", vec![MIN32, STRIDE])
+                .with_metric(Metric::ValueHitRatio),
+            Variant::speedup("fcm+indep", "profile-independent", vec![MIN32, FCM])
+                .with_metric(Metric::ValueHitRatio),
+            Variant::speedup("stride+pred", "profile-predictable", vec![MIN32, STRIDE])
+                .with_metric(Metric::ValueHitRatio),
+            Variant::speedup("fcm+pred", "profile-predictable", vec![MIN32, FCM])
+                .with_metric(Metric::ValueHitRatio),
+        ],
+    )
+    .amean()
+    .run(h)?;
+    let means = &grid.means;
     Ok(Figure {
-        id: "fig10a",
+        id: "fig10a".into(),
         title: "Prediction accuracy for the independent / predictable CQIP criteria".into(),
-        table,
+        table: grid.table_with(pct),
         notes: vec![
             "Paper: the predictable-oriented policy reaches the best hit ratio (~75%).".into(),
         ],
@@ -563,32 +466,20 @@ pub fn fig10a(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig10b(h: &Harness) -> Result<Figure, HarnessError> {
-    let cfg = best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride);
-    let mut table = Table::new(&["bench", "max-distance", "independent", "predictable"]);
-    let mut sums = vec![Vec::new(); 3];
-    for ctx in &h.benches {
-        let [indep, pred] = ctx.criterion_tables();
-        let r0 = ctx.sim(cfg.clone(), &ctx.profile.table)?;
-        let r1 = ctx.sim(cfg.clone(), indep)?;
-        let r2 = ctx.sim(cfg.clone(), pred)?;
-        let s0 = ctx.speedup(&r0)?;
-        let s1 = ctx.speedup(&r1)?;
-        let s2 = ctx.speedup(&r2)?;
-        for (v, s) in sums.iter_mut().zip([s0, s1, s2]) {
-            v.push(s);
-        }
-        table.row_owned(vec![ctx.bench.name().into(), f2(s0), f2(s1), f2(s2)]);
-    }
-    let hmeans: Vec<f64> = sums.iter().map(|s| harmonic_mean(s)).collect();
-    table.row_owned(
-        std::iter::once("Hmean".to_string())
-            .chain(hmeans.iter().map(|&v| f2(v)))
-            .collect(),
-    );
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(16),
+        vec![
+            Variant::speedup("max-distance", "profile", vec![MIN32, STRIDE]),
+            Variant::speedup("independent", "profile-independent", vec![MIN32, STRIDE]),
+            Variant::speedup("predictable", "profile-predictable", vec![MIN32, STRIDE]),
+        ],
+    )
+    .run(h)?;
+    let hmeans = &grid.means;
     Ok(Figure {
-        id: "fig10b",
+        id: "fig10b".into(),
         title: "Speed-up of the independent / predictable criteria (stride predictor)".into(),
-        table,
+        table: grid.table_with(f2),
         notes: vec![format!(
             "Paper: both ~35% below max-distance (smaller threads). Measured: {:+.1}% / {:+.1}%.",
             (hmeans[1] / hmeans[0] - 1.0) * 100.0,
@@ -605,6 +496,22 @@ pub fn fig10b(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig11(h: &Harness) -> Result<Figure, HarnessError> {
+    // Four policy/predictor combinations, each simulated with and without
+    // the overhead; the grid's raw cycle counts yield the slow-downs.
+    let combos: [(&'static str, &'static str, &'static [ConfigDelta]); 4] = [
+        ("profile (stride)", "profile", &[MIN32, STRIDE]),
+        ("heur (stride)", "heuristics", &[STRIDE]),
+        ("profile (perfect)", "profile", &[MIN32]),
+        ("heur (perfect)", "heuristics", &[]),
+    ];
+    let mut variants = Vec::new();
+    for (label, scheme, deltas) in combos {
+        variants.push(Variant::speedup(label, scheme, deltas.to_vec()).with_metric(Metric::Cycles));
+        let mut with_ovh = deltas.to_vec();
+        with_ovh.push(OVH8);
+        variants.push(Variant::speedup(label, scheme, with_ovh).with_metric(Metric::Cycles));
+    }
+    let grid = ExperimentSpec::new(SimConfig::paper(16), variants).run(h)?;
     let mut table = Table::new(&[
         "bench",
         "profile (stride)",
@@ -613,26 +520,12 @@ pub fn fig11(h: &Harness) -> Result<Figure, HarnessError> {
         "heur (perfect)",
     ]);
     let mut sums = vec![Vec::new(); 4];
-    for ctx in &h.benches {
-        let slow = |cfg: SimConfig, t: &specmt::spawn::SpawnTable| -> Result<f64, HarnessError> {
-            let c0 = ctx.sim(cfg.clone(), t)?.cycles as f64;
-            let c8 = ctx.sim(cfg.with_init_overhead(8), t)?.cycles as f64;
-            Ok(1.0 - c0 / c8)
-        };
-        let vals = [
-            slow(
-                best_profile_config(16).with_value_predictor(ValuePredictorKind::Stride),
-                &ctx.profile.table,
-            )?,
-            slow(
-                SimConfig::paper(16).with_value_predictor(ValuePredictorKind::Stride),
-                &ctx.heuristics,
-            )?,
-            slow(best_profile_config(16), &ctx.profile.table)?,
-            slow(SimConfig::paper(16), &ctx.heuristics)?,
-        ];
-        let mut cells = vec![ctx.bench.name().to_string()];
-        for (s, v) in sums.iter_mut().zip(vals) {
+    for (bi, name) in grid.bench_names.iter().enumerate() {
+        let mut cells = vec![(*name).to_string()];
+        for (ci, s) in sums.iter_mut().enumerate() {
+            let c0 = grid.values[2 * ci][bi];
+            let c8 = grid.values[2 * ci + 1][bi];
+            let v = 1.0 - c0 / c8;
             s.push(v);
             cells.push(pct(v));
         }
@@ -645,7 +538,7 @@ pub fn fig11(h: &Harness) -> Result<Figure, HarnessError> {
             .collect(),
     );
     Ok(Figure {
-        id: "fig11",
+        id: "fig11".into(),
         title: "Slow-down from an 8-cycle thread-initialisation overhead".into(),
         table,
         notes: vec![
@@ -671,50 +564,24 @@ pub fn fig11(h: &Harness) -> Result<Figure, HarnessError> {
 ///
 /// As [`fig2`].
 pub fn fig12(h: &Harness) -> Result<Figure, HarnessError> {
-    let stride = ValuePredictorKind::Stride;
-    let runs: Vec<(&str, f64)> = vec![
-        (
-            "profile/perfect",
-            hmean_of(&h.run_with(&best_profile_config(4), |c| &c.profile.table)?),
-        ),
-        (
-            "profile/stride",
-            hmean_of(&h.run_with(&best_profile_config(4).with_value_predictor(stride), |c| {
-                &c.profile.table
-            })?),
-        ),
-        (
-            "profile/stride+ovh8",
-            hmean_of(&h.run_with(
-                &best_profile_config(4)
-                    .with_value_predictor(stride)
-                    .with_init_overhead(8),
-                |c| &c.profile.table,
-            )?),
-        ),
-        (
-            "heuristics/perfect",
-            hmean_of(&h.run_heuristics(&SimConfig::paper(4))?),
-        ),
-        (
-            "heuristics/stride",
-            hmean_of(&h.run_heuristics(&SimConfig::paper(4).with_value_predictor(stride))?),
-        ),
-        (
-            "heuristics/stride+ovh8",
-            hmean_of(&h.run_heuristics(
-                &SimConfig::paper(4)
-                    .with_value_predictor(stride)
-                    .with_init_overhead(8),
-            )?),
-        ),
-    ];
+    let grid = ExperimentSpec::new(
+        SimConfig::paper(4),
+        vec![
+            Variant::speedup("profile/perfect", "profile", vec![MIN32]),
+            Variant::speedup("profile/stride", "profile", vec![MIN32, STRIDE]),
+            Variant::speedup("profile/stride+ovh8", "profile", vec![MIN32, STRIDE, OVH8]),
+            Variant::speedup("heuristics/perfect", "heuristics", vec![]),
+            Variant::speedup("heuristics/stride", "heuristics", vec![STRIDE]),
+            Variant::speedup("heuristics/stride+ovh8", "heuristics", vec![STRIDE, OVH8]),
+        ],
+    )
+    .run(h)?;
     let mut table = Table::new(&["configuration", "Hmean speed-up"]);
-    for (name, v) in &runs {
-        table.row_owned(vec![(*name).into(), f2(*v)]);
+    for (label, v) in grid.labels.iter().zip(&grid.means) {
+        table.row_owned(vec![(*label).into(), f2(*v)]);
     }
     Ok(Figure {
-        id: "fig12",
+        id: "fig12".into(),
         title: "Average speed-ups with 4 thread units".into(),
         table,
         notes: vec![
@@ -722,34 +589,533 @@ pub fn fig12(h: &Harness) -> Result<Figure, HarnessError> {
                 .into(),
             "heuristics slightly lower in each case.".into(),
         ],
-        json: json!(runs
+        json: json!(grid
+            .labels
             .iter()
+            .zip(&grid.means)
             .map(|(n, v)| json!({"config": n, "hmean": v}))
             .collect::<Vec<_>>()),
     })
 }
 
-/// Every figure, in paper order.
+// ---------------------------------------------------------------------------
+// Extra studies (formerly the `ablations` and `crossinput` binaries)
+// ---------------------------------------------------------------------------
+
+/// The parameter ablations: selection thresholds, hardware parameters,
+/// value-predictor kinds, and a four-way policy shootout including the
+/// related-work MEM-slicing and return-pair schemes.
+///
+/// # Errors
+///
+/// As [`fig2`], plus [`HarnessError::Scheme`] for selection failures.
+pub fn ablations(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
+    let base = crate::best_profile_config(16);
+    let hmean_for = |cfg: &SimConfig, params: Option<&SchemeParams>| -> Result<f64, HarnessError> {
+        let mut speedups = Vec::new();
+        for ctx in &h.benches {
+            let table = match params {
+                None => ctx.table_for("profile", &h.registry, &h.params)?,
+                Some(p) => std::sync::Arc::new(h.registry.select("profile", ctx.bench.trace(), p)?),
+            };
+            let r = ctx.sim(cfg.clone(), &table)?;
+            speedups.push(ctx.speedup(&r)?);
+        }
+        Ok(harmonic_mean(&speedups))
+    };
+    let profile_params = |profile: specmt_spawn::ProfileConfig| SchemeParams {
+        profile,
+        ..SchemeParams::default()
+    };
+    let mut figs = Vec::new();
+
+    // --- Selection thresholds -------------------------------------------
+    let mut t = Table::new(&["min probability", "hmean"]);
+    let mut rows = Vec::new();
+    for p in [0.5, 0.8, 0.9, 0.95, 0.99] {
+        let params = profile_params(specmt_spawn::ProfileConfig {
+            min_prob: p,
+            ..specmt_spawn::ProfileConfig::default()
+        });
+        let v = hmean_for(&base, Some(&params))?;
+        t.row_owned(vec![format!("{p:.2}"), f2(v)]);
+        rows.push(json!({"min_prob": p, "hmean": v}));
+    }
+    figs.push(Figure {
+        id: "abl-min-prob".into(),
+        title: "Ablation: minimum reaching probability (paper fixes 0.95)".into(),
+        table: t,
+        notes: vec![],
+        json: json!({"rows": rows}),
+    });
+
+    let mut t = Table::new(&["min distance", "hmean"]);
+    let mut rows = Vec::new();
+    for d in [8.0, 16.0, 32.0, 64.0, 128.0] {
+        let params = profile_params(specmt_spawn::ProfileConfig {
+            min_distance: d,
+            ..specmt_spawn::ProfileConfig::default()
+        });
+        let v = hmean_for(&base, Some(&params))?;
+        t.row_owned(vec![format!("{d}"), f2(v)]);
+        rows.push(json!({"min_distance": d, "hmean": v}));
+    }
+    figs.push(Figure {
+        id: "abl-min-distance".into(),
+        title: "Ablation: minimum spawning distance (paper fixes 32)".into(),
+        table: t,
+        notes: vec![],
+        json: json!({"rows": rows}),
+    });
+
+    let mut t = Table::new(&["max distance", "hmean"]);
+    let mut rows = Vec::new();
+    for d in [100.0, 200.0, 300.0, 600.0, f64::INFINITY] {
+        let params = profile_params(specmt_spawn::ProfileConfig {
+            max_distance: d.is_finite().then_some(d),
+            ..specmt_spawn::ProfileConfig::default()
+        });
+        let v = hmean_for(&base, Some(&params))?;
+        let label = if d.is_finite() {
+            format!("{d}")
+        } else {
+            "unbounded".into()
+        };
+        t.row_owned(vec![label, f2(v)]);
+        rows.push(json!({"max_distance": d.is_finite().then_some(d), "hmean": v}));
+    }
+    figs.push(Figure {
+        id: "abl-max-distance".into(),
+        title: "Ablation: maximum spawning distance".into(),
+        table: t,
+        notes: vec![],
+        json: json!({"rows": rows}),
+    });
+
+    let mut t = Table::new(&["CFG coverage", "hmean"]);
+    let mut rows = Vec::new();
+    for c in [0.5, 0.7, 0.9, 0.99] {
+        let params = profile_params(specmt_spawn::ProfileConfig {
+            coverage: c,
+            ..specmt_spawn::ProfileConfig::default()
+        });
+        let v = hmean_for(&base, Some(&params))?;
+        t.row_owned(vec![format!("{c:.2}"), f2(v)]);
+        rows.push(json!({"coverage": c, "hmean": v}));
+    }
+    figs.push(Figure {
+        id: "abl-coverage".into(),
+        title: "Ablation: CFG execution coverage (paper fixes 90%)".into(),
+        table: t,
+        notes: vec![],
+        json: json!({"rows": rows}),
+    });
+
+    // --- Hardware parameters --------------------------------------------
+    let mut t = Table::new(&["thread units", "perfect", "stride"]);
+    let mut rows = Vec::new();
+    for tus in [2usize, 4, 8, 16, 32] {
+        let p = hmean_for(&crate::best_profile_config(tus), None)?;
+        let s = hmean_for(
+            &crate::best_profile_config(tus).with_value_predictor(ValuePredictorKind::Stride),
+            None,
+        )?;
+        t.row_owned(vec![format!("{tus}"), f2(p), f2(s)]);
+        rows.push(json!({"thread_units": tus, "perfect": p, "stride": s}));
+    }
+    figs.push(Figure {
+        id: "abl-thread-units".into(),
+        title: "Ablation: thread-unit count".into(),
+        table: t,
+        notes: vec![],
+        json: json!({"rows": rows}),
+    });
+
+    let mut t = Table::new(&["predictor budget", "hmean (stride)", "accuracy"]);
+    let mut rows = Vec::new();
+    for kb in [1usize, 4, 16, 64] {
+        let mut cfg = base.clone().with_value_predictor(ValuePredictorKind::Stride);
+        cfg.predictor_budget = kb * 1024;
+        let mut speedups = Vec::new();
+        let mut accs = Vec::new();
+        for ctx in &h.benches {
+            let table = ctx.table_for("profile", &h.registry, &h.params)?;
+            let r = ctx.sim(cfg.clone(), &table)?;
+            speedups.push(ctx.speedup(&r)?);
+            accs.push(r.value_hit_ratio());
+        }
+        let hm = harmonic_mean(&speedups);
+        let acc = accs.iter().sum::<f64>() / accs.len() as f64;
+        t.row_owned(vec![format!("{kb} KB"), f2(hm), format!("{:.1}%", 100.0 * acc)]);
+        rows.push(json!({"budget_kb": kb, "hmean": hm, "accuracy": acc}));
+    }
+    figs.push(Figure {
+        id: "abl-predictor-budget".into(),
+        title: "Ablation: value-predictor budget (paper fixes 16 KB)".into(),
+        table: t,
+        notes: vec![],
+        json: json!({"rows": rows}),
+    });
+
+    let mut t = Table::new(&["forward latency", "perfect", "stride"]);
+    let mut rows = Vec::new();
+    for fwd in [0u64, 1, 3, 6, 10] {
+        let mut pc = base.clone();
+        pc.forward_latency = fwd;
+        let mut sc = pc.clone().with_value_predictor(ValuePredictorKind::Stride);
+        sc.forward_latency = fwd;
+        let p = hmean_for(&pc, None)?;
+        let s = hmean_for(&sc, None)?;
+        t.row_owned(vec![format!("{fwd}"), f2(p), f2(s)]);
+        rows.push(json!({"forward_latency": fwd, "perfect": p, "stride": s}));
+    }
+    figs.push(Figure {
+        id: "abl-forward-latency".into(),
+        title: "Ablation: inter-unit forward latency (paper fixes 3 cycles)".into(),
+        table: t,
+        notes: vec![],
+        json: json!({"rows": rows}),
+    });
+
+    // --- Value-predictor kinds -------------------------------------------
+    let mut t = Table::new(&["predictor", "hmean", "accuracy"]);
+    let mut rows = Vec::new();
+    for kind in [
+        ValuePredictorKind::Perfect,
+        ValuePredictorKind::Stride,
+        ValuePredictorKind::Fcm,
+        ValuePredictorKind::Hybrid,
+        ValuePredictorKind::LastValue,
+        ValuePredictorKind::None,
+    ] {
+        let cfg = base.clone().with_value_predictor(kind);
+        let mut speedups = Vec::new();
+        let mut accs = Vec::new();
+        for ctx in &h.benches {
+            let table = ctx.table_for("profile", &h.registry, &h.params)?;
+            let r = ctx.sim(cfg.clone(), &table)?;
+            speedups.push(ctx.speedup(&r)?);
+            accs.push(r.value_hit_ratio());
+        }
+        let hm = harmonic_mean(&speedups);
+        let acc = accs.iter().sum::<f64>() / accs.len() as f64;
+        t.row_owned(vec![kind.to_string(), f2(hm), format!("{:.1}%", 100.0 * acc)]);
+        rows.push(json!({"predictor": kind.to_string(), "hmean": hm, "accuracy": acc}));
+    }
+    figs.push(Figure {
+        id: "abl-predictors".into(),
+        title: "Ablation: value-predictor kinds".into(),
+        table: t,
+        notes: vec![],
+        json: json!({"rows": rows}),
+    });
+
+    // --- Policy shootout via the scheme registry ------------------------
+    let schemes = ["profile", "heuristics", "memslice", "return-pairs"];
+    let grid = ExperimentSpec::new(
+        base,
+        schemes
+            .iter()
+            .map(|&s| Variant::speedup(s, s, vec![]))
+            .collect(),
+    )
+    .run(h)?;
+    figs.push(Figure {
+        id: "abl-policies".into(),
+        title: "Policy shootout: every registered spawning scheme".into(),
+        table: grid.table_with(f2),
+        notes: vec![
+            "(all policies run with the minimum-size mechanism enabled)".into(),
+        ],
+        json: json!({"hmeans": schemes.iter().zip(&grid.means).map(|(s, m)| json!({"scheme": s, "hmean": m})).collect::<Vec<_>>()}),
+    });
+
+    Ok(figs)
+}
+
+/// Cross-input validation of the profile-based spawning scheme: pairs are
+/// selected on the training input and evaluated on the reference input
+/// against self-profiled pairs (the upper bound).
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn crossinput(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
+    use specmt_workloads::{InputSet, SUITE_NAMES};
+
+    let scale = h.scale;
+    let mut table = Table::new(&[
+        "bench",
+        "train-profiled",
+        "self-profiled",
+        "transfer",
+        "pair overlap",
+    ]);
+    let mut cross = Vec::new();
+    let mut selfp = Vec::new();
+    let mut rows = Vec::new();
+    for name in SUITE_NAMES {
+        let load = |input| -> Result<crate::Bench, HarnessError> {
+            let w = specmt_workloads::by_name_with_input(name, scale, input).ok_or_else(|| {
+                HarnessError::bench(
+                    name,
+                    crate::BenchError::UnknownWorkload {
+                        name: name.to_owned(),
+                    },
+                )
+            })?;
+            crate::Bench::from_workload(w).map_err(|e| HarnessError::bench(name, e))
+        };
+        let train = load(InputSet::Train)?;
+        let reference = load(InputSet::Ref)?;
+
+        let train_pairs = h
+            .registry
+            .select("profile", train.trace(), &h.params)?;
+        let ref_pairs = h
+            .registry
+            .select("profile", reference.trace(), &h.params)?;
+
+        let cfg = crate::best_profile_config(16);
+        let r_train = reference
+            .run(cfg.clone(), &train_pairs)
+            .map_err(|e| HarnessError::bench(name, e))?;
+        let r_self = reference
+            .run(cfg, &ref_pairs)
+            .map_err(|e| HarnessError::bench(name, e))?;
+        let with_train = reference
+            .speedup(&r_train)
+            .map_err(|e| HarnessError::bench(name, e))?;
+        let with_self = reference
+            .speedup(&r_self)
+            .map_err(|e| HarnessError::bench(name, e))?;
+        cross.push(with_train);
+        selfp.push(with_self);
+
+        // Structural overlap: (sp, cqip) pairs found by both profiles.
+        let in_ref: std::collections::HashSet<(u32, u32)> =
+            ref_pairs.iter().map(|p| (p.sp.0, p.cqip.0)).collect();
+        let shared = train_pairs
+            .iter()
+            .filter(|p| in_ref.contains(&(p.sp.0, p.cqip.0)))
+            .count();
+        table.row_owned(vec![
+            name.into(),
+            f2(with_train),
+            f2(with_self),
+            format!("{:.0}%", 100.0 * with_train / with_self),
+            format!("{}/{}", shared, ref_pairs.num_pairs()),
+        ]);
+        rows.push(json!({
+            "bench": name,
+            "train_profiled": with_train,
+            "self_profiled": with_self,
+            "shared_pairs": shared,
+            "ref_pairs": ref_pairs.num_pairs(),
+        }));
+    }
+    let (hc, hs) = (harmonic_mean(&cross), harmonic_mean(&selfp));
+    table.row_owned(vec![
+        "Hmean".into(),
+        f2(hc),
+        f2(hs),
+        format!("{:.0}%", 100.0 * hc / hs),
+    ]);
+    Ok(vec![Figure {
+        id: "crossinput".into(),
+        title: "Cross-input validation: training-selected pairs on the reference input".into(),
+        table,
+        notes: vec![
+            "transfer = speed-up with training-selected pairs relative to self-profiled pairs".into(),
+            "on the reference input; overlap = training pairs also selected by a reference".into(),
+            "profile. High transfer validates the paper's profile-once methodology.".into(),
+        ],
+        json: json!({"rows": rows, "hmean_train": hc, "hmean_self": hs}),
+    }])
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+/// Whether a registry entry reproduces a paper figure or is an extra study
+/// of this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureGroup {
+    /// A figure of the paper's §4 evaluation; `specmt bench all` runs
+    /// these, in paper order.
+    Paper,
+    /// An additional study (ablations, cross-input validation); run
+    /// explicitly by id.
+    Extra,
+}
+
+/// One runnable entry of the figure registry.
+pub struct FigureDef {
+    /// The id used on the command line (`fig3`, `ablations`, ...).
+    pub id: &'static str,
+    /// One-line description for `specmt bench --list`.
+    pub summary: &'static str,
+    /// Paper figure or extra study.
+    pub group: FigureGroup,
+    /// Builds the figure(s) from a loaded harness.
+    pub build: fn(&Harness) -> Result<Vec<Figure>, HarnessError>,
+}
+
+impl std::fmt::Debug for FigureDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FigureDef")
+            .field("id", &self.id)
+            .field("group", &self.group)
+            .finish_non_exhaustive()
+    }
+}
+
+static REGISTRY: [FigureDef; 17] = [
+    FigureDef {
+        id: "fig2",
+        summary: "selected spawning pairs and distinct spawning points",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig2(h)?]),
+    },
+    FigureDef {
+        id: "fig3",
+        summary: "speed-up, 16 TUs, profile-based spawning, perfect value prediction",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig3(h)?]),
+    },
+    FigureDef {
+        id: "fig4",
+        summary: "average active threads for the Figure 3 runs",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig4(h)?]),
+    },
+    FigureDef {
+        id: "fig5a",
+        summary: "pair removal after executing alone (never / 50 / 200 cycles)",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig5a(h)?]),
+    },
+    FigureDef {
+        id: "fig5b",
+        summary: "delayed pair removal (1/8/16 occurrences)",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig5b(h)?]),
+    },
+    FigureDef {
+        id: "fig6",
+        summary: "reassign policy vs the standard removal scheme",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig6(h)?]),
+    },
+    FigureDef {
+        id: "fig7a",
+        summary: "committed thread size under standard removal",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig7a(h)?]),
+    },
+    FigureDef {
+        id: "fig7b",
+        summary: "enforcing a minimum observed thread size of 32",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig7b(h)?]),
+    },
+    FigureDef {
+        id: "fig8",
+        summary: "profile-based policy vs combined construct heuristics",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig8(h)?]),
+    },
+    FigureDef {
+        id: "fig9a",
+        summary: "live-in value-prediction hit ratios (stride / FCM)",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig9a(h)?]),
+    },
+    FigureDef {
+        id: "fig9b",
+        summary: "speed-ups with a realistic stride value predictor",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig9b(h)?]),
+    },
+    FigureDef {
+        id: "fig10a",
+        summary: "prediction accuracy for the independent / predictable criteria",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig10a(h)?]),
+    },
+    FigureDef {
+        id: "fig10b",
+        summary: "speed-up of the independent / predictable criteria",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig10b(h)?]),
+    },
+    FigureDef {
+        id: "fig11",
+        summary: "slow-down from an 8-cycle thread-initialisation overhead",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig11(h)?]),
+    },
+    FigureDef {
+        id: "fig12",
+        summary: "average speed-ups with 4 thread units",
+        group: FigureGroup::Paper,
+        build: |h| Ok(vec![fig12(h)?]),
+    },
+    FigureDef {
+        id: "ablations",
+        summary: "parameter ablations + policy shootout (extra study)",
+        group: FigureGroup::Extra,
+        build: ablations,
+    },
+    FigureDef {
+        id: "crossinput",
+        summary: "cross-input validation of profile-selected pairs (extra study)",
+        group: FigureGroup::Extra,
+        build: crossinput,
+    },
+];
+
+/// Every registered figure, paper figures first in paper order.
+pub fn registry() -> &'static [FigureDef] {
+    &REGISTRY
+}
+
+/// Looks up a figure by its CLI id.
+pub fn by_id(id: &str) -> Option<&'static FigureDef> {
+    REGISTRY.iter().find(|d| d.id == id)
+}
+
+/// Every paper figure, in paper order (what `specmt bench all` runs).
 ///
 /// # Errors
 ///
 /// The first figure's failure, if any.
 pub fn all(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
-    Ok(vec![
-        fig2(h)?,
-        fig3(h)?,
-        fig4(h)?,
-        fig5a(h)?,
-        fig5b(h)?,
-        fig6(h)?,
-        fig7a(h)?,
-        fig7b(h)?,
-        fig8(h)?,
-        fig9a(h)?,
-        fig9b(h)?,
-        fig10a(h)?,
-        fig10b(h)?,
-        fig12(h)?,
-        fig11(h)?,
-    ])
+    let mut figs = Vec::new();
+    for def in REGISTRY.iter().filter(|d| d.group == FigureGroup::Paper) {
+        figs.extend((def.build)(h)?);
+    }
+    Ok(figs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique() {
+        let mut ids: Vec<_> = REGISTRY.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn by_id_resolves_every_entry() {
+        for def in registry() {
+            assert!(by_id(def.id).is_some(), "{} must resolve", def.id);
+        }
+        assert!(by_id("fig1").is_none());
+    }
 }

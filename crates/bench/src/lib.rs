@@ -1,9 +1,17 @@
 //! # specmt-bench
 //!
-//! The experiment harness: one function per figure of the paper's
-//! evaluation (§4), each regenerating the corresponding table/series from
-//! scratch on the synthetic SpecInt95 suite. The `fig*` binaries are thin
-//! wrappers; `all` runs everything and persists machine-readable results.
+//! The experiment harness: the [`Bench`] wrapper around one workload, the
+//! suite-wide [`Harness`], the declarative [`ExperimentSpec`] runner, and a
+//! registry of every figure of the paper's evaluation (§4), each
+//! regenerating the corresponding table/series from scratch on the
+//! synthetic SpecInt95 suite. The figures are exposed through the
+//! `specmt bench` CLI subcommand; `specmt bench all` runs everything and
+//! persists machine-readable results.
+//!
+//! Spawning policies are addressed by name through the
+//! [`specmt_spawn::SchemeRegistry`]; each [`BenchCtx`] memoizes the spawn
+//! table a scheme selects for its benchmark, so one process builds each
+//! table at most once however many figures request it.
 //!
 //! ## Protocol notes (divergences are listed in EXPERIMENTS.md)
 //!
@@ -22,18 +30,26 @@
 
 #![warn(missing_docs)]
 
+mod benchmark;
 pub mod cache;
+pub mod experiment;
 pub mod figures;
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex};
 
-use specmt::sim::{RemovalPolicy, SimConfig, SimResult};
-use specmt::spawn::{HeuristicSet, OrderCriterion, ProfileConfig, ProfileResult, SpawnTable};
-use specmt::stats::Table;
-use specmt::workloads::Scale;
-use specmt::{Bench, BenchError};
+use specmt_sim::{RemovalPolicy, SimConfig, SimResult};
+use specmt_spawn::{
+    HeuristicSet, ProfileConfig, ProfileResult, SchemeError, SchemeParams, SchemeRegistry,
+    SpawnTable,
+};
+use specmt_stats::Table;
+use specmt_workloads::Scale;
+
+pub use benchmark::{Bench, BenchError};
+pub use experiment::{ExperimentGrid, ExperimentSpec, MeanKind, Metric, Variant};
 
 /// Errors from the experiment harness.
 #[derive(Debug)]
@@ -51,6 +67,15 @@ pub enum HarnessError {
         /// The underlying failure.
         source: BenchError,
     },
+    /// A spawning scheme could not be resolved or failed to select.
+    Scheme(SchemeError),
+    /// A figure failed to persist its results.
+    Persist {
+        /// The figure's id.
+        id: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
 }
 
 impl HarnessError {
@@ -59,6 +84,12 @@ impl HarnessError {
             name: name.into(),
             source,
         }
+    }
+}
+
+impl From<SchemeError> for HarnessError {
+    fn from(e: SchemeError) -> HarnessError {
+        HarnessError::Scheme(e)
     }
 }
 
@@ -72,6 +103,10 @@ impl std::fmt::Display for HarnessError {
                 )
             }
             HarnessError::Bench { name, source } => write!(f, "benchmark `{name}`: {source}"),
+            HarnessError::Scheme(e) => write!(f, "{e}"),
+            HarnessError::Persist { id, source } => {
+                write!(f, "could not persist `{id}`: {source}")
+            }
         }
     }
 }
@@ -80,6 +115,8 @@ impl std::error::Error for HarnessError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HarnessError::Bench { source, .. } => Some(source),
+            HarnessError::Scheme(e) => Some(e),
+            HarnessError::Persist { source, .. } => Some(source),
             HarnessError::Scale { .. } => None,
         }
     }
@@ -94,19 +131,22 @@ pub struct BenchCtx {
     pub profile: ProfileResult,
     /// The combined construct heuristics (Figure 8's baseline).
     pub heuristics: SpawnTable,
-    /// Lazily-built spawn tables for the alternative CQIP ordering criteria
-    /// (`Independent`, `Predictable`) — computed once per process and shared
-    /// by every figure that needs them (10a and 10b).
-    criterion: OnceLock<[SpawnTable; 2]>,
+    /// Per-scheme spawn tables, built on first use and shared by every
+    /// figure that names the scheme (`profile` and `heuristics` are seeded
+    /// from the disk-cacheable results above).
+    tables: Mutex<HashMap<String, Arc<SpawnTable>>>,
 }
 
 impl BenchCtx {
     fn new(bench: Bench, profile: ProfileResult, heuristics: SpawnTable) -> BenchCtx {
+        let mut tables = HashMap::new();
+        tables.insert("profile".to_owned(), Arc::new(profile.table.clone()));
+        tables.insert("heuristics".to_owned(), Arc::new(heuristics.clone()));
         BenchCtx {
             bench,
             profile,
             heuristics,
-            criterion: OnceLock::new(),
+            tables: Mutex::new(tables),
         }
     }
 
@@ -117,7 +157,7 @@ impl BenchCtx {
     /// Returns [`HarnessError::Bench`] for an unknown name or a failed
     /// trace/baseline build.
     pub fn load(name: &'static str, scale: Scale) -> Result<BenchCtx, HarnessError> {
-        let workload = specmt::workloads::by_name(name, scale).ok_or_else(|| {
+        let workload = specmt_workloads::by_name(name, scale).ok_or_else(|| {
             HarnessError::bench(
                 name,
                 BenchError::UnknownWorkload {
@@ -139,19 +179,30 @@ impl BenchCtx {
         Ok(BenchCtx::new(bench, profile, heuristics))
     }
 
-    /// The spawn tables for the `Independent` and `Predictable` CQIP
-    /// ordering criteria, in that order (built on first use, then shared).
-    pub fn criterion_tables(&self) -> &[SpawnTable; 2] {
-        self.criterion.get_or_init(|| {
-            [OrderCriterion::Independent, OrderCriterion::Predictable].map(|criterion| {
-                self.bench
-                    .profile_table(&ProfileConfig {
-                        criterion,
-                        ..ProfileConfig::default()
-                    })
-                    .table
-            })
-        })
+    /// The spawn table scheme `name` selects for this benchmark, resolved
+    /// through `registry` and memoized per context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Scheme`] for an unknown scheme or a failed
+    /// selection.
+    pub fn table_for(
+        &self,
+        name: &str,
+        registry: &SchemeRegistry,
+        params: &SchemeParams,
+    ) -> Result<Arc<SpawnTable>, HarnessError> {
+        if let Some(t) = self.tables.lock().expect("table lock").get(name) {
+            return Ok(Arc::clone(t));
+        }
+        // Selection runs outside the lock: it can be expensive, and other
+        // schemes' lookups should not serialise behind it.
+        let table = Arc::new(registry.select(name, self.bench.trace(), params)?);
+        let mut tables = self.tables.lock().expect("table lock");
+        let entry = tables
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::clone(&table));
+        Ok(Arc::clone(entry))
     }
 
     /// Simulates this benchmark, naming it in any error.
@@ -185,6 +236,10 @@ pub struct Harness {
     pub benches: Vec<BenchCtx>,
     /// The scale everything was generated at.
     pub scale: Scale,
+    /// The spawning schemes experiments may reference by name.
+    pub registry: SchemeRegistry,
+    /// Shared selection parameters for [`BenchCtx::table_for`].
+    pub params: SchemeParams,
 }
 
 /// Reads the scale from `SPECMT_SCALE` (default: medium).
@@ -223,7 +278,7 @@ impl Harness {
     ///
     /// As [`Harness::load`].
     pub fn load_at(scale: Scale) -> Result<Harness, HarnessError> {
-        let names = specmt::workloads::SUITE_NAMES;
+        let names = specmt_workloads::SUITE_NAMES;
         let mut slots: Vec<Option<Result<BenchCtx, HarnessError>>> =
             (0..names.len()).map(|_| None).collect();
         std::thread::scope(|s| {
@@ -235,7 +290,12 @@ impl Harness {
             .into_iter()
             .map(|s| s.expect("slot filled"))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Harness { benches, scale })
+        Ok(Harness {
+            benches,
+            scale,
+            registry: SchemeRegistry::builtin(),
+            params: SchemeParams::default(),
+        })
     }
 
     /// Runs `config` with each benchmark's profile table, returning
@@ -248,40 +308,48 @@ impl Harness {
         &self,
         config: &SimConfig,
     ) -> Result<Vec<(&'static str, f64, SimResult)>, HarnessError> {
-        self.run_with(config, |ctx| &ctx.profile.table)
+        self.run_scheme(config, "profile")
     }
 
-    /// Runs `config` with each benchmark's heuristic table.
+    /// Runs `config` with the tables a named scheme selects per benchmark.
     ///
     /// # Errors
     ///
-    /// As [`Harness::run_profile`].
-    pub fn run_heuristics(
+    /// As [`Harness::run_profile`], plus [`HarnessError::Scheme`] for an
+    /// unknown scheme.
+    pub fn run_scheme(
         &self,
         config: &SimConfig,
+        scheme: &str,
     ) -> Result<Vec<(&'static str, f64, SimResult)>, HarnessError> {
-        self.run_with(config, |ctx| &ctx.heuristics)
+        let tables = self
+            .benches
+            .iter()
+            .map(|ctx| ctx.table_for(scheme, &self.registry, &self.params))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.run_with(config, |i, _| Arc::clone(&tables[i]))
     }
 
-    /// Runs `config` against a per-benchmark table selector.
+    /// Runs `config` against a per-benchmark table selector (called with
+    /// the benchmark's suite index and context).
     ///
     /// # Errors
     ///
     /// As [`Harness::run_profile`].
-    pub fn run_with<'a>(
-        &'a self,
+    pub fn run_with(
+        &self,
         config: &SimConfig,
-        table: impl Fn(&'a BenchCtx) -> &'a SpawnTable + Sync,
+        table: impl Fn(usize, &BenchCtx) -> Arc<SpawnTable> + Sync,
     ) -> Result<Vec<(&'static str, f64, SimResult)>, HarnessError> {
         type Run = Result<(&'static str, f64, SimResult), HarnessError>;
         let mut out: Vec<Option<Run>> = (0..self.benches.len()).map(|_| None).collect();
         std::thread::scope(|s| {
-            for (slot, ctx) in out.iter_mut().zip(&self.benches) {
+            for (i, (slot, ctx)) in out.iter_mut().zip(&self.benches).enumerate() {
                 let cfg = config.clone();
-                let t = table(ctx);
+                let t = table(i, ctx);
                 s.spawn(move || {
                     *slot = Some((|| {
-                        let r = ctx.sim(cfg, t)?;
+                        let r = ctx.sim(cfg, &t)?;
                         let sp = ctx.speedup(&r)?;
                         Ok((ctx.bench.name(), sp, r))
                     })());
@@ -319,7 +387,7 @@ pub fn best_profile_config(thread_units: usize) -> SimConfig {
 #[derive(Debug)]
 pub struct Figure {
     /// Identifier, e.g. `fig3`.
-    pub id: &'static str,
+    pub id: String,
     /// Human title echoing the paper's caption.
     pub title: String,
     /// The rendered data.
@@ -331,14 +399,23 @@ pub struct Figure {
 }
 
 impl Figure {
+    /// The figure's full text block: header, table, notes, and a trailing
+    /// blank line (the canonical format the golden tests pin down).
+    pub fn render_block(&self) -> String {
+        let mut s = format!("=== {} — {}\n", self.id, self.title);
+        s.push_str(&self.table.render());
+        s.push('\n');
+        for n in &self.notes {
+            s.push_str(n);
+            s.push('\n');
+        }
+        s.push('\n');
+        s
+    }
+
     /// Prints the figure to stdout.
     pub fn print(&self) {
-        println!("=== {} — {}", self.id, self.title);
-        println!("{}", self.table.render());
-        for n in &self.notes {
-            println!("{n}");
-        }
-        println!();
+        print!("{}", self.render_block());
     }
 
     /// Persists the JSON payload under `target/specmt-results/`.
@@ -357,6 +434,20 @@ impl Figure {
             serde_json::to_string_pretty(&self.json).expect("json")
         )?;
         Ok(path)
+    }
+
+    /// As [`Figure::save`], wrapping failures in [`HarnessError::Persist`]
+    /// so batch runs can fail hard instead of continuing past a lost
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Persist`] naming the figure.
+    pub fn save_or_fail(&self) -> Result<PathBuf, HarnessError> {
+        self.save().map_err(|e| HarnessError::Persist {
+            id: self.id.clone(),
+            source: e,
+        })
     }
 }
 

@@ -6,8 +6,8 @@
 use std::fs;
 use std::path::PathBuf;
 
-use specmt::sim::SimConfig;
-use specmt::workloads::Scale;
+use specmt_sim::SimConfig;
+use specmt_workloads::Scale;
 use specmt_bench::BenchCtx;
 
 /// Everything a figure derives from one benchmark, in exactly-comparable
@@ -16,8 +16,8 @@ use specmt_bench::BenchCtx;
 #[derive(Debug, PartialEq)]
 struct Fingerprint {
     baseline: u64,
-    profile: specmt::spawn::ProfileResult,
-    heuristics: specmt::spawn::SpawnTable,
+    profile: specmt_spawn::ProfileResult,
+    heuristics: specmt_spawn::SpawnTable,
     paper16_cycles: u64,
     paper16_speedup: f64,
 }

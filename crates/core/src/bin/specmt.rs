@@ -4,24 +4,32 @@
 //! specmt list [--scale tiny|small|medium|large]
 //! specmt disasm  <workload|file.s>
 //! specmt trace   <workload> --out trace.smtr
-//! specmt pairs   <workload|trace.smtr|file.s> [--policy profile|heuristics|memslice]
+//! specmt pairs   <workload|trace.smtr|file.s> [--policy <scheme>|none]
 //! specmt simulate <workload|trace.smtr|file.s> [--policy P] [--tus N]
 //!                 [--vp perfect|stride|fcm|hybrid|last|none] [--overhead N] [--min-size N]
 //!                 [--faults seed=N,squash=R,drop=R,corrupt=R,jitter=N,remove=R]
+//! specmt bench   <figure-id|all> [--scale S] [--json PATH]
+//! specmt bench   --list
 //! specmt run     <file.s>
 //! ```
 //!
 //! Inputs are resolved by suffix: `.smtr` loads a saved binary trace, `.s`
 //! or `.asm` parses assembly text, anything else names a suite workload.
+//!
+//! `--policy` accepts any spawning scheme registered in
+//! [`specmt::spawn::SchemeRegistry`] (see `specmt pairs --policy help`), or
+//! `none` for an empty table. `bench` runs the figure registry: every
+//! entry of the paper's evaluation plus the extra studies; `bench all`
+//! regenerates every paper figure and persists machine-readable results
+//! under `target/specmt-results/`.
 
 use std::process::ExitCode;
 
+use specmt::bench::figures::{self, FigureGroup};
+use specmt::bench::Harness;
 use specmt::predict::ValuePredictorKind;
 use specmt::sim::{FaultPlan, SimConfig, Simulator};
-use specmt::spawn::{
-    heuristic_pairs, memslice_pairs, profile_pairs, HeuristicSet, MemSliceConfig, ProfileConfig,
-    SpawnTable,
-};
+use specmt::spawn::{SchemeParams, SchemeRegistry, SpawnTable, BUILTIN_SCHEME_NAMES};
 use specmt::trace::Trace;
 use specmt::workloads::{Scale, SUITE_NAMES};
 
@@ -42,6 +50,9 @@ struct Args {
     flags: Vec<(String, String)>,
 }
 
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["list"];
+
 impl Args {
     fn parse(raw: Vec<String>) -> Result<Args, CliError> {
         let mut positional = Vec::new();
@@ -49,9 +60,12 @@ impl Args {
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                let value = if BOOL_FLAGS.contains(&name) {
+                    String::new()
+                } else {
+                    it.next()
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?
+                };
                 flags.push((name.to_owned(), value));
             } else {
                 positional.push(a);
@@ -115,13 +129,16 @@ fn load_trace(input: &str, scale: Scale) -> Result<Trace, CliError> {
 }
 
 fn build_table(args: &Args, trace: &Trace) -> Result<SpawnTable, CliError> {
-    Ok(match args.flag("policy").unwrap_or("profile") {
-        "profile" => profile_pairs(trace, &ProfileConfig::default()).table,
-        "heuristics" => heuristic_pairs(trace.program(), HeuristicSet::all()),
-        "memslice" => memslice_pairs(trace, &MemSliceConfig::default()),
-        "none" => SpawnTable::empty(),
-        other => return Err(format!("unknown policy `{other}`").into()),
-    })
+    let policy = args.flag("policy").unwrap_or("profile");
+    match policy {
+        "none" => Ok(SpawnTable::empty()),
+        "help" => Err(format!(
+            "registered schemes: {}",
+            BUILTIN_SCHEME_NAMES.join(", ")
+        )
+        .into()),
+        name => Ok(SchemeRegistry::builtin().select(name, trace, &SchemeParams::default())?),
+    }
 }
 
 fn run(raw: Vec<String>) -> Result<(), CliError> {
@@ -140,6 +157,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
         "simulate" => &[
             "scale", "policy", "tus", "vp", "overhead", "min-size", "faults",
         ],
+        "bench" => &["scale", "json", "list"],
         _ => &[],
     })?;
 
@@ -149,17 +167,18 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
                 "{:10} {:>8} {:>12} {:>10}",
                 "workload", "static", "dynamic", "pairs"
             );
+            let registry = SchemeRegistry::builtin();
             for name in SUITE_NAMES {
                 let w = specmt::workloads::by_name(name, scale)
                     .ok_or_else(|| format!("suite workload `{name}` missing at scale {scale:?}"))?;
                 let trace = Trace::generate(w.program.clone(), w.step_budget)?;
-                let pairs = profile_pairs(&trace, &ProfileConfig::default());
+                let pairs = registry.select("profile", &trace, &SchemeParams::default())?;
                 println!(
                     "{:10} {:>8} {:>12} {:>10}",
                     name,
                     w.program.len(),
                     trace.len(),
-                    pairs.table.num_pairs()
+                    pairs.num_pairs()
                 );
             }
         }
@@ -258,6 +277,66 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
                 println!("forced removals {:>12}", r.fault_forced_removals);
             }
         }
+        "bench" => {
+            if args.flag("list").is_some() {
+                for def in figures::registry() {
+                    let group = match def.group {
+                        FigureGroup::Paper => "paper",
+                        FigureGroup::Extra => "extra",
+                    };
+                    println!("{:<12} {:<6} {}", def.id, group, def.summary);
+                }
+                return Ok(());
+            }
+            let target = input.ok_or("bench needs a figure id or `all` (try --list)")?;
+            let defs: Vec<&figures::FigureDef> = if target == "all" {
+                figures::registry()
+                    .iter()
+                    .filter(|d| d.group == FigureGroup::Paper)
+                    .collect()
+            } else {
+                vec![figures::by_id(target)
+                    .ok_or_else(|| format!("unknown figure `{target}` (try --list)"))?]
+            };
+            // --scale wins; otherwise SPECMT_SCALE (default medium), so the
+            // subcommand composes with the env var the harness already uses.
+            let scale = match args.flag("scale") {
+                Some(_) => args.scale()?,
+                None => specmt::bench::scale_from_env()?,
+            };
+            let start = std::time::Instant::now();
+            let h = Harness::load_at(scale)?;
+            eprintln!(
+                "suite loaded at {:?} scale in {:.1}s",
+                h.scale,
+                start.elapsed().as_secs_f64()
+            );
+            let mut summary = Vec::new();
+            for def in defs {
+                for fig in (def.build)(&h)? {
+                    fig.print();
+                    // A lost result is an error, not a warning: batch runs
+                    // must not silently continue past a failed save.
+                    let path = fig.save_or_fail()?;
+                    summary.push(serde_json::json!({
+                        "id": fig.id,
+                        "title": fig.title,
+                        "saved": path.display().to_string(),
+                        "data": fig.json,
+                    }));
+                }
+            }
+            eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
+            if let Some(path) = args.flag("json") {
+                let doc = serde_json::json!({
+                    "scale": format!("{:?}", h.scale).to_lowercase(),
+                    "target": target,
+                    "figures": summary,
+                });
+                std::fs::write(path, serde_json::to_string_pretty(&doc)? + "\n")?;
+                eprintln!("wrote {path}");
+            }
+        }
         "run" => {
             let input = input.ok_or("run needs a .s file")?;
             let trace = load_trace(input, scale)?;
@@ -279,6 +358,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy profile|heuristics|memslice]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N] [--faults seed=N,squash=R,...]\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file"
+        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy <scheme>|none]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N] [--faults seed=N,squash=R,...]\n  specmt bench <figure-id|all> [--scale S] [--json PATH]\n  specmt bench --list\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file\nschemes: {}",
+        BUILTIN_SCHEME_NAMES.join(", ")
     );
 }

@@ -188,6 +188,15 @@ impl SimConfig {
         self
     }
 
+    /// Returns the configuration with a sequence of [`ConfigDelta`]s
+    /// applied in order.
+    pub fn with_deltas(mut self, deltas: &[ConfigDelta]) -> SimConfig {
+        for d in deltas {
+            d.apply(&mut self);
+        }
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -232,6 +241,64 @@ impl SimConfig {
     }
 }
 
+/// One declarative modification to a [`SimConfig`].
+///
+/// Experiments are naturally described as a base configuration plus small
+/// per-column deltas ("the paper machine, but with a stride predictor and an
+/// 8-cycle init overhead"); this type makes that delta a value the bench
+/// layer's experiment specs can store, compare and replay, instead of a
+/// closure.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_sim::{ConfigDelta, RemovalPolicy, SimConfig};
+///
+/// let cfg = SimConfig::paper(16).with_deltas(&[
+///     ConfigDelta::InitOverhead(8),
+///     ConfigDelta::Removal(Some(RemovalPolicy::relaxed())),
+///     ConfigDelta::MinObservedSize(Some(32)),
+/// ]);
+/// assert_eq!(cfg.init_overhead, 8);
+/// assert_eq!(cfg.min_observed_size, Some(32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigDelta {
+    /// Set the thread-unit count.
+    ThreadUnits(usize),
+    /// Set the live-in value predictor.
+    ValuePredictor(ValuePredictorKind),
+    /// Set the value-predictor storage budget, in bytes.
+    PredictorBudget(usize),
+    /// Set the thread-initialisation overhead, in cycles.
+    InitOverhead(u64),
+    /// Set the inter-unit forward latency, in cycles.
+    ForwardLatency(u64),
+    /// Set (or clear) the dynamic pair-removal policy.
+    Removal(Option<RemovalPolicy>),
+    /// Enable or disable the reassign policy.
+    Reassign(bool),
+    /// Set (or clear) the minimum observed thread size.
+    MinObservedSize(Option<u32>),
+}
+
+impl ConfigDelta {
+    /// Applies this delta to `config` in place.
+    pub fn apply(&self, config: &mut SimConfig) {
+        match *self {
+            ConfigDelta::ThreadUnits(n) => config.thread_units = n,
+            ConfigDelta::ValuePredictor(kind) => config.value_predictor = kind,
+            ConfigDelta::PredictorBudget(bytes) => config.predictor_budget = bytes,
+            ConfigDelta::InitOverhead(cycles) => config.init_overhead = cycles,
+            ConfigDelta::ForwardLatency(cycles) => config.forward_latency = cycles,
+            ConfigDelta::Removal(policy) => config.removal = policy,
+            ConfigDelta::Reassign(on) => config.reassign = on,
+            ConfigDelta::MinObservedSize(size) => config.min_observed_size = size,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +332,39 @@ mod tests {
         assert_eq!(c.value_predictor, ValuePredictorKind::Stride);
         assert_eq!(c.init_overhead, 8);
         assert_eq!(c.removal.unwrap().alone_cycles, 50);
+    }
+
+    #[test]
+    fn deltas_apply_in_order() {
+        let cfg = SimConfig::paper(16).with_deltas(&[
+            ConfigDelta::ThreadUnits(4),
+            ConfigDelta::ValuePredictor(ValuePredictorKind::Stride),
+            ConfigDelta::InitOverhead(8),
+            ConfigDelta::InitOverhead(4), // later deltas win
+            ConfigDelta::Removal(Some(RemovalPolicy::aggressive())),
+            ConfigDelta::Removal(None),
+            ConfigDelta::Reassign(true),
+            ConfigDelta::ForwardLatency(6),
+            ConfigDelta::PredictorBudget(1024),
+            ConfigDelta::MinObservedSize(Some(32)),
+        ]);
+        assert_eq!(cfg.thread_units, 4);
+        assert_eq!(cfg.value_predictor, ValuePredictorKind::Stride);
+        assert_eq!(cfg.init_overhead, 4);
+        assert_eq!(cfg.removal, None);
+        assert!(cfg.reassign);
+        assert_eq!(cfg.forward_latency, 6);
+        assert_eq!(cfg.predictor_budget, 1024);
+        assert_eq!(cfg.min_observed_size, Some(32));
+    }
+
+    #[test]
+    fn empty_delta_list_is_identity() {
+        let base = SimConfig::paper(16);
+        let same = base.clone().with_deltas(&[]);
+        assert_eq!(same.thread_units, base.thread_units);
+        assert_eq!(same.value_predictor, base.value_predictor);
+        assert_eq!(same.init_overhead, base.init_overhead);
     }
 
     #[test]

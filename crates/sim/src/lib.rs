@@ -72,7 +72,7 @@ mod faults;
 mod result;
 
 pub use cache::L1Cache;
-pub use config::{CacheConfig, RemovalPolicy, SimConfig};
+pub use config::{CacheConfig, ConfigDelta, RemovalPolicy, SimConfig};
 pub use engine::Simulator;
 pub use error::SimError;
 pub use faults::FaultPlan;

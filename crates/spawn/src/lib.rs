@@ -23,6 +23,11 @@
 //!
 //! Both produce a [`SpawnTable`], the interface the simulator consumes.
 //!
+//! Every selector family is also wrapped in an object-safe [`SpawnScheme`]
+//! implementation and registered by name in [`SchemeRegistry::builtin`], so
+//! experiments and tools address policies uniformly and custom policies
+//! plug in alongside the built-ins (see [`scheme`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -47,9 +52,13 @@ mod memslice;
 mod pair;
 mod profile;
 mod returns;
+pub mod scheme;
 
 pub use heuristics::{heuristic_pairs, HeuristicSet};
 pub use memslice::{memslice_pairs, MemSliceConfig};
 pub use pair::{PairOrigin, SpawnPair, SpawnTable};
 pub use profile::{profile_pairs, OrderCriterion, ProfileConfig, ProfileResult};
 pub use returns::{return_pairs, ReturnPairStats};
+pub use scheme::{
+    SchemeError, SchemeParams, SchemeRegistry, SpawnScheme, BUILTIN_SCHEME_NAMES,
+};

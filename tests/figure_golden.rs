@@ -1,0 +1,75 @@
+//! The figure pipeline is deterministic end to end: trace generation,
+//! pair selection, and the timing model are all integer/f64 computations
+//! over seeded synthetic workloads, so every figure's rendered table is
+//! reproducible bit for bit. This test pins the full tiny-scale output of
+//! every paper figure against a committed golden file, guarding the whole
+//! stack — the scheme registry, the `ExperimentSpec` runner, and the
+//! figure builders — against silent behavioural drift.
+//!
+//! The golden file was captured from the pre-registry per-figure binaries,
+//! so it also certifies that the consolidated `specmt bench` path
+//! reproduces the original binaries' tables exactly.
+//!
+//! To regenerate after an *intentional* protocol change:
+//!
+//! ```text
+//! cargo run --release -p specmt --bin specmt -- bench all --scale tiny \
+//!     > tests/golden/figures_tiny.txt
+//! ```
+//!
+//! (stdout carries only the figure blocks; progress lines go to stderr).
+
+use std::collections::BTreeMap;
+
+use specmt::bench::{figures, Harness};
+use specmt::workloads::Scale;
+
+const GOLDEN: &str = include_str!("golden/figures_tiny.txt");
+
+/// Splits concatenated `render_block` output into per-figure blocks keyed
+/// by id. Order-insensitive so the registry may reorder figures without
+/// invalidating the capture.
+fn blocks(text: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for raw in text.split("=== ") {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let id = raw
+            .split_whitespace()
+            .next()
+            .expect("block starts with an id")
+            .to_owned();
+        out.insert(id, format!("=== {raw}"));
+    }
+    out
+}
+
+#[test]
+fn every_paper_figure_matches_golden_output() {
+    // The cache lives under the package directory during tests; bypass it
+    // so this test neither depends on nor pollutes shared state.
+    std::env::set_var("SPECMT_CACHE", "off");
+    let h = Harness::load_at(Scale::Tiny).expect("suite loads at tiny scale");
+    let figs = figures::all(&h).expect("all figures build");
+
+    let golden = blocks(GOLDEN);
+    let mut rendered = BTreeMap::new();
+    for fig in &figs {
+        rendered.insert(fig.id.clone(), fig.render_block());
+    }
+
+    assert_eq!(
+        golden.keys().collect::<Vec<_>>(),
+        rendered.keys().collect::<Vec<_>>(),
+        "figure ids must match the golden capture"
+    );
+    for (id, want) in &golden {
+        let got = &rendered[id];
+        assert_eq!(
+            got, want,
+            "{id} diverged from the golden capture; if intentional, regenerate \
+             tests/golden/figures_tiny.txt (see the module docs)"
+        );
+    }
+}
