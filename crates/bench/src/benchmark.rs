@@ -176,6 +176,24 @@ impl Bench {
             .map_err(BenchError::Sim)
     }
 
+    /// As [`Bench::run`], additionally streaming the run's lifecycle events
+    /// into `sink` (see `specmt_sim::obs`). Timing and statistics are
+    /// bit-identical to an unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bench::run`].
+    pub fn run_observed(
+        &self,
+        config: SimConfig,
+        table: &SpawnTable,
+        sink: &mut dyn specmt_sim::EventSink,
+    ) -> Result<SimResult, BenchError> {
+        Simulator::with_table(&self.trace, config, table)
+            .run_with_sink(sink)
+            .map_err(BenchError::Sim)
+    }
+
     /// Speed-up of `result` over the single-threaded baseline.
     ///
     /// # Errors

@@ -1099,6 +1099,72 @@ pub fn all(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
     Ok(figs)
 }
 
+/// What [`run_defs`] collected: the figures that built, a JSON summary
+/// entry per attempted figure (successes record `saved` + `data`, failures
+/// record an `"error"` string), and the failures themselves.
+#[derive(Debug, Default)]
+pub struct RunOutcome {
+    /// Successfully built figures, in definition order.
+    pub figures: Vec<Figure>,
+    /// One JSON object per *attempted* figure id — failed ids stay in the
+    /// summary with an `"error"` field instead of vanishing.
+    pub summary: Vec<serde_json::Value>,
+    /// `(figure id, error)` for every definition that failed.
+    pub errors: Vec<(String, HarnessError)>,
+}
+
+/// Runs a set of figure definitions to completion, never aborting early: a
+/// definition that fails is recorded in [`RunOutcome::errors`] (and as an
+/// `"error"` summary entry) and the remaining definitions still run. With
+/// `save` set, each built figure is persisted via [`Figure::save`]; a
+/// failed save counts as that figure's failure.
+pub fn run_defs(h: &Harness, defs: &[&FigureDef], save: bool) -> RunOutcome {
+    let mut out = RunOutcome::default();
+    for def in defs {
+        match (def.build)(h) {
+            Ok(figs) => {
+                for fig in figs {
+                    let entry = if save {
+                        match fig.save_or_fail() {
+                            Ok(path) => serde_json::json!({
+                                "id": fig.id,
+                                "title": fig.title,
+                                "saved": path.display().to_string(),
+                                "data": fig.json.clone(),
+                            }),
+                            Err(e) => {
+                                let entry = serde_json::json!({
+                                    "id": fig.id,
+                                    "title": fig.title,
+                                    "error": e.to_string(),
+                                });
+                                out.errors.push((fig.id.clone(), e));
+                                entry
+                            }
+                        }
+                    } else {
+                        serde_json::json!({
+                            "id": fig.id,
+                            "title": fig.title,
+                            "data": fig.json.clone(),
+                        })
+                    };
+                    out.summary.push(entry);
+                    out.figures.push(fig);
+                }
+            }
+            Err(e) => {
+                out.summary.push(serde_json::json!({
+                    "id": def.id,
+                    "error": e.to_string(),
+                }));
+                out.errors.push((def.id.to_string(), e));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

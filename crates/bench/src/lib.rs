@@ -38,6 +38,7 @@ pub mod figures;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use specmt_sim::{RemovalPolicy, SimConfig, SimResult};
@@ -135,6 +136,9 @@ pub struct BenchCtx {
     /// figure that names the scheme (`profile` and `heuristics` are seeded
     /// from the disk-cacheable results above).
     tables: Mutex<HashMap<String, Arc<SpawnTable>>>,
+    /// When set, [`BenchCtx::sim`] forces `SimConfig::observe` on so every
+    /// result carries a metrics snapshot (see [`Harness::set_observe`]).
+    observe: AtomicBool,
 }
 
 impl BenchCtx {
@@ -147,6 +151,7 @@ impl BenchCtx {
             profile,
             heuristics,
             tables: Mutex::new(tables),
+            observe: AtomicBool::new(false),
         }
     }
 
@@ -211,6 +216,10 @@ impl BenchCtx {
     ///
     /// As [`Bench::run`], wrapped in [`HarnessError::Bench`].
     pub fn sim(&self, config: SimConfig, table: &SpawnTable) -> Result<SimResult, HarnessError> {
+        let mut config = config;
+        if self.observe.load(Ordering::Relaxed) {
+            config.observe = true;
+        }
         self.bench
             .run(config, table)
             .map_err(|e| HarnessError::bench(self.bench.name(), e))
@@ -358,6 +367,90 @@ impl Harness {
         });
         out.into_iter().map(|s| s.expect("slot filled")).collect()
     }
+
+    /// Force `SimConfig::observe` on (or stop forcing it) for every
+    /// simulation routed through this harness's contexts, so figure
+    /// builders pick up metrics without each one threading a flag. Never
+    /// turns observation *off* for a config that asked for it explicitly.
+    pub fn set_observe(&self, on: bool) {
+        for ctx in &self.benches {
+            ctx.observe.store(on, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Metrics for one benchmark × scheme cell of [`collect_metrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Scheme name (as registered).
+    pub scheme: String,
+    /// Speed-up over the single-threaded baseline.
+    pub speedup: f64,
+    /// The run's metrics snapshot.
+    pub metrics: specmt_sim::Metrics,
+}
+
+/// Runs `config` (with observation forced on) for every benchmark × scheme
+/// combination and returns the per-cell metrics snapshots — the aggregation
+/// behind `specmt bench --metrics json`.
+///
+/// # Errors
+///
+/// The first failed table selection or simulation.
+pub fn collect_metrics(
+    h: &Harness,
+    config: &SimConfig,
+    schemes: &[&str],
+) -> Result<Vec<MetricsRow>, HarnessError> {
+    let mut rows = Vec::new();
+    for ctx in &h.benches {
+        for &scheme in schemes {
+            let table = ctx.table_for(scheme, &h.registry, &h.params)?;
+            let cfg = config.clone().with_observe(true);
+            let r = ctx.sim(cfg, &table)?;
+            let speedup = ctx.speedup(&r)?;
+            rows.push(MetricsRow {
+                bench: ctx.bench.name(),
+                scheme: scheme.to_owned(),
+                speedup,
+                metrics: r.metrics.unwrap_or_default(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// [`collect_metrics`] rendered as the JSON document `specmt bench
+/// --metrics json` writes: one row per benchmark × scheme with the counters
+/// and histograms inlined.
+///
+/// # Errors
+///
+/// As [`collect_metrics`].
+pub fn metrics_report(
+    h: &Harness,
+    config: &SimConfig,
+    schemes: &[&str],
+) -> Result<serde_json::Value, HarnessError> {
+    let rows = collect_metrics(h, config, schemes)?;
+    let rows: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "bench": r.bench,
+                "scheme": r.scheme,
+                "speedup": r.speedup,
+                "metrics": serde::Serialize::to_value(&r.metrics),
+            })
+        })
+        .collect();
+    Ok(serde_json::json!({
+        "schema": "specmt-metrics/v1",
+        "scale": format!("{:?}", h.scale).to_lowercase(),
+        "rows": rows,
+    }))
 }
 
 /// The paper's removal scheme for Figures 6+: 50 cycles executing alone

@@ -157,7 +157,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
         "simulate" => &[
             "scale", "policy", "tus", "vp", "overhead", "min-size", "faults",
         ],
-        "bench" => &["scale", "json", "list"],
+        "bench" => &["scale", "json", "list", "metrics"],
         _ => &[],
     })?;
 
@@ -311,30 +311,30 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
                 h.scale,
                 start.elapsed().as_secs_f64()
             );
-            let mut summary = Vec::new();
-            for def in defs {
-                for fig in (def.build)(&h)? {
-                    fig.print();
-                    // A lost result is an error, not a warning: batch runs
-                    // must not silently continue past a failed save.
-                    let path = fig.save_or_fail()?;
-                    summary.push(serde_json::json!({
-                        "id": fig.id,
-                        "title": fig.title,
-                        "saved": path.display().to_string(),
-                        "data": fig.json,
-                    }));
-                }
+            // Figures run to completion even when one fails: partial
+            // results (and the failures, as "error" entries) still reach
+            // the --json summary instead of vanishing with an early abort.
+            let outcome = figures::run_defs(&h, &defs, true);
+            for fig in &outcome.figures {
+                fig.print();
             }
             eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
+            if let Some(mode) = args.flag("metrics") {
+                write_metrics(&h, mode)?;
+            }
             if let Some(path) = args.flag("json") {
                 let doc = serde_json::json!({
                     "scale": format!("{:?}", h.scale).to_lowercase(),
                     "target": target,
-                    "figures": summary,
+                    "figures": outcome.summary,
                 });
                 std::fs::write(path, serde_json::to_string_pretty(&doc)? + "\n")?;
                 eprintln!("wrote {path}");
+            }
+            // A lost result is still an error — but only after everything
+            // that could be produced was produced and recorded.
+            if let Some((id, e)) = outcome.errors.into_iter().next() {
+                return Err(format!("figure `{id}` failed: {e}").into());
             }
         }
         "run" => {
@@ -356,9 +356,48 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `--metrics json|chrome` exports, written under
+/// `target/specmt-results/` next to the figure payloads.
+///
+/// `json` aggregates a [`specmt::obs::Metrics`] snapshot per benchmark ×
+/// built-in scheme (the paper-16 configuration); `chrome` replays each
+/// benchmark's profile-table run through an event log and writes one
+/// Chrome `trace_event` timeline per benchmark, viewable in
+/// `chrome://tracing` or Perfetto.
+fn write_metrics(h: &Harness, mode: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::path::PathBuf::from("target/specmt-results");
+    std::fs::create_dir_all(&dir)?;
+    match mode {
+        "json" => {
+            let doc =
+                specmt::bench::metrics_report(h, &SimConfig::paper(16), &BUILTIN_SCHEME_NAMES)?;
+            let path = dir.join("metrics.json");
+            std::fs::write(&path, serde_json::to_string_pretty(&doc)? + "\n")?;
+            eprintln!("wrote {}", path.display());
+        }
+        "chrome" => {
+            for ctx in &h.benches {
+                let mut log = specmt::obs::EventLog::new();
+                let table = ctx.table_for("profile", &h.registry, &h.params)?;
+                ctx.bench
+                    .run_observed(SimConfig::paper(16), &table, &mut log)?;
+                let path = dir.join(format!("trace_{}.json", ctx.bench.name()));
+                std::fs::write(&path, specmt::obs::chrome::trace_string(log.events())? + "\n")?;
+                eprintln!(
+                    "wrote {} ({} events)",
+                    path.display(),
+                    log.len()
+                );
+            }
+        }
+        other => return Err(format!("--metrics wants json or chrome, got `{other}`").into()),
+    }
+    Ok(())
+}
+
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy <scheme>|none]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N] [--faults seed=N,squash=R,...]\n  specmt bench <figure-id|all> [--scale S] [--json PATH]\n  specmt bench --list\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file\nschemes: {}",
+        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy <scheme>|none]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N] [--faults seed=N,squash=R,...]\n  specmt bench <figure-id|all> [--scale S] [--json PATH] [--metrics json|chrome]\n  specmt bench --list\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file\nschemes: {}",
         BUILTIN_SCHEME_NAMES.join(", ")
     );
 }

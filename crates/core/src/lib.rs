@@ -20,6 +20,7 @@
 //! | [`analysis`] | `specmt-analysis` | CFG, pruning, reaching probabilities |
 //! | [`spawn`] | `specmt-spawn` | spawning-pair selection policies + the [`spawn::SchemeRegistry`] |
 //! | [`predict`] | `specmt-predict` | gshare + value predictors |
+//! | [`obs`] | `specmt-obs` | lifecycle events, metrics, Chrome trace export, conservation-law auditor |
 //! | [`sim`] | `specmt-sim` | the CSMP timing model |
 //! | [`stats`] | `specmt-stats` | means, tables, charts |
 //! | [`bench`] | `specmt-bench` | [`Bench`], the suite [`bench::Harness`], experiment specs, the figure registry |
@@ -47,6 +48,7 @@
 
 pub use specmt_analysis as analysis;
 pub use specmt_isa as isa;
+pub use specmt_obs as obs;
 pub use specmt_predict as predict;
 pub use specmt_sim as sim;
 pub use specmt_spawn as spawn;

@@ -131,6 +131,11 @@ pub struct SimConfig {
     /// Deterministic fault injection for chaos testing (`None` = a faultless
     /// machine, the default).
     pub faults: Option<FaultPlan>,
+    /// Aggregate a [`Metrics`](specmt_obs::Metrics) snapshot from the run's
+    /// event stream onto `SimResult::metrics`. Off by default; observation
+    /// never changes the simulated timing or statistics (a tested
+    /// invariant).
+    pub observe: bool,
 }
 
 impl SimConfig {
@@ -156,6 +161,7 @@ impl SimConfig {
             reassign: false,
             min_observed_size: None,
             faults: None,
+            observe: false,
         }
     }
 
@@ -185,6 +191,12 @@ impl SimConfig {
     /// Returns the configuration with a fault-injection plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> SimConfig {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Returns the configuration with metrics aggregation on or off.
+    pub fn with_observe(mut self, on: bool) -> SimConfig {
+        self.observe = on;
         self
     }
 
@@ -281,6 +293,8 @@ pub enum ConfigDelta {
     Reassign(bool),
     /// Set (or clear) the minimum observed thread size.
     MinObservedSize(Option<u32>),
+    /// Enable or disable event/metrics observation.
+    Observe(bool),
 }
 
 impl ConfigDelta {
@@ -295,6 +309,7 @@ impl ConfigDelta {
             ConfigDelta::Removal(policy) => config.removal = policy,
             ConfigDelta::Reassign(on) => config.reassign = on,
             ConfigDelta::MinObservedSize(size) => config.min_observed_size = size,
+            ConfigDelta::Observe(on) => config.observe = on,
         }
     }
 }
@@ -347,6 +362,7 @@ mod tests {
             ConfigDelta::ForwardLatency(6),
             ConfigDelta::PredictorBudget(1024),
             ConfigDelta::MinObservedSize(Some(32)),
+            ConfigDelta::Observe(true),
         ]);
         assert_eq!(cfg.thread_units, 4);
         assert_eq!(cfg.value_predictor, ValuePredictorKind::Stride);
@@ -356,6 +372,7 @@ mod tests {
         assert_eq!(cfg.forward_latency, 6);
         assert_eq!(cfg.predictor_budget, 1024);
         assert_eq!(cfg.min_observed_size, Some(32));
+        assert!(cfg.observe);
     }
 
     #[test]

@@ -25,9 +25,10 @@
 //! * Spawns the hardware would discover to be doomed (their CQIP never
 //!   recurs) occupy a thread unit until their spawner commits, then squash.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use specmt_isa::{FuClass, Pc};
+use specmt_obs::{Event, EventSink, FaultKind, MetricsRegistry, SquashReason};
 use specmt_predict::{Gshare, PredKey, ValuePredictor, ValuePredictorKind};
 use specmt_spawn::SpawnTable;
 use specmt_trace::{DepGraph, Trace, NO_PRODUCER};
@@ -66,17 +67,23 @@ impl ThreadUnit {
 /// unit until its spawner joins and the mismatch is discovered.
 #[derive(Debug, Clone, Copy)]
 struct DoomedChild {
+    /// Per-run thread id (for the event stream).
+    id: u64,
     tu: usize,
     spawn_time: u64,
     cqip_pc: u32,
     /// The pair that created it, charged with a zero-size thread by the
     /// minimum-size policy.
     pair: (u32, u32),
+    /// Whether the fault injector, not control misspeculation, doomed it.
+    fault: bool,
 }
 
 /// An active thread awaiting processing.
 #[derive(Debug)]
 struct PendingThread {
+    /// Per-run thread id (root = 0; for the event stream).
+    id: u64,
     /// First dynamic instruction of the window.
     start: usize,
     /// Static pc of that first instruction (cached so spawn conflict checks
@@ -151,6 +158,10 @@ impl<'a> Simulator<'a> {
     /// perturbs timing and policy only, so the audit holds under any valid
     /// [`FaultPlan`](crate::FaultPlan).
     ///
+    /// If [`SimConfig::observe`] is set, the returned
+    /// [`SimResult::metrics`] carries a [`Metrics`](specmt_obs::Metrics)
+    /// snapshot aggregated from the run's event stream.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] / [`SimError::InvalidFaultPlan`]
@@ -160,7 +171,20 @@ impl<'a> Simulator<'a> {
     /// model's correctness invariants do not survive the run.
     pub fn run(self) -> Result<SimResult, SimError> {
         self.config.validate()?;
-        Engine::new(self).run()
+        Engine::new(self, None).run()
+    }
+
+    /// As [`Simulator::run`], additionally streaming every lifecycle
+    /// [`Event`] into `sink` as it happens. Timing and results are
+    /// bit-identical to an unobserved run: emission never feeds back into
+    /// the model (a tested invariant).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    pub fn run_with_sink(self, sink: &mut dyn EventSink) -> Result<SimResult, SimError> {
+        self.config.validate()?;
+        Engine::new(self, Some(sink)).run()
     }
 }
 
@@ -170,7 +194,7 @@ impl<'a> Simulator<'a> {
     }
 }
 
-struct Engine<'a> {
+struct Engine<'a, 's> {
     trace: &'a Trace,
     deps: DepGraph,
     cfg: SimConfig,
@@ -183,16 +207,30 @@ struct Engine<'a> {
     cqip_occurrences: HashMap<u32, Vec<u32>>,
     /// Whether a pc is a spawning point.
     is_sp: Vec<bool>,
-    pair_rt: HashMap<(u32, u32), PairRuntime>,
+    /// Per-pair dynamic state, keyed by `(sp, cqip)`. A `BTreeMap` so every
+    /// scan over it (the minimum-size removal pick in particular) visits
+    /// pairs in a deterministic order — with a `HashMap`, ties in that pick
+    /// were broken by randomized iteration order, making whole-run results
+    /// differ between executions.
+    pair_rt: BTreeMap<(u32, u32), PairRuntime>,
     /// Active speculative threads in program order (excluding the one being
     /// processed).
     chain: Vec<PendingThread>,
     faults: Option<FaultInjector>,
     result: SimResult,
+    /// External event consumer (from [`Simulator::run_with_sink`]).
+    sink: Option<&'s mut dyn EventSink>,
+    /// Built-in metrics aggregation (from [`SimConfig::observe`]).
+    metrics: Option<MetricsRegistry>,
+    /// Cached `sink.is_some() || metrics.is_some()`: the single branch the
+    /// disabled path pays per emission site.
+    observing: bool,
+    /// Next per-run thread id (root took 0).
+    next_thread_id: u64,
 }
 
-impl<'a> Engine<'a> {
-    fn new(sim: Simulator<'a>) -> Engine<'a> {
+impl<'a, 's> Engine<'a, 's> {
+    fn new(sim: Simulator<'a>, sink: Option<&'s mut dyn EventSink>) -> Engine<'a, 's> {
         let (trace, deps, cfg, table) = sim.into_parts();
         let program_len = trace.program().len();
         let mut is_sp = vec![false; program_len];
@@ -220,6 +258,8 @@ impl<'a> Engine<'a> {
             .faults
             .filter(|p| p.is_active())
             .map(FaultInjector::new);
+        let metrics = cfg.observe.then(MetricsRegistry::new);
+        let observing = sink.is_some() || metrics.is_some();
         Engine {
             trace,
             deps,
@@ -230,20 +270,53 @@ impl<'a> Engine<'a> {
             predictor,
             cqip_occurrences,
             is_sp,
-            pair_rt: HashMap::new(),
+            pair_rt: BTreeMap::new(),
             chain: Vec::new(),
             faults,
             result: SimResult::default(),
+            sink,
+            metrics,
+            observing,
+            next_thread_id: 1,
+        }
+    }
+
+    /// Fan one event out to the metrics registry and the external sink.
+    /// Callers gate on `self.observing` so the disabled path never
+    /// constructs the event.
+    fn emit(&mut self, event: Event) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.record(&event);
+        }
+        if let Some(s) = self.sink.as_mut() {
+            s.record(&event);
+        }
+    }
+
+    /// Freeze the metrics registry (if any) into the result.
+    fn finish_metrics(&mut self) {
+        if let Some(m) = self.metrics.take() {
+            self.result.metrics = Some(m.snapshot());
         }
     }
 
     fn run(mut self) -> Result<SimResult, SimError> {
         let n = self.trace.len();
         if n == 0 {
+            self.finish_metrics();
             return Ok(self.result);
         }
         self.tus[0].busy = true;
+        if self.observing {
+            self.emit(Event::ThreadSpawned {
+                thread: 0,
+                unit: 0,
+                cycle: 0,
+                speculative: false,
+            });
+        }
         let mut next = Some(PendingThread {
+            id: 0,
             start: 0,
             start_pc: self.trace.pcs().first().copied().unwrap_or(0),
             spawn_time: 0,
@@ -278,6 +351,20 @@ impl<'a> Engine<'a> {
                 self.tus[d.tu].free_at = exec_done.max(d.spawn_time);
                 self.result.threads_squashed += 1;
             }
+            if self.observing {
+                for d in &doomed {
+                    self.emit(Event::ThreadSquashed {
+                        thread: d.id,
+                        unit: d.tu as u32,
+                        cycle: exec_done.max(d.spawn_time),
+                        reason: if d.fault {
+                            SquashReason::InjectedFault
+                        } else {
+                            SquashReason::ControlMisspeculation
+                        },
+                    });
+                }
+            }
 
             let window_len = (end - t.start) as u64;
             self.result.record_thread_size(window_len);
@@ -286,6 +373,15 @@ impl<'a> Engine<'a> {
             self.result.thread_size_sum += window_len;
             self.result.thread_lifetime_cycles += commit_time - t.spawn_time;
             self.result.cycles = commit_time;
+            if self.observing {
+                self.emit(Event::ThreadCommitted {
+                    thread: t.id,
+                    unit: t.tu as u32,
+                    cycle: commit_time,
+                    spawn_cycle: t.spawn_time,
+                    size: window_len,
+                });
+            }
 
             self.apply_dynamic_policies(&t, &doomed, exec_done, window_len, pred_commit);
 
@@ -300,6 +396,7 @@ impl<'a> Engine<'a> {
             self.result.cache_hits += h;
             self.result.cache_misses += m;
         }
+        self.finish_metrics();
         Ok(self.result)
     }
 
@@ -417,7 +514,7 @@ impl<'a> Engine<'a> {
 
             // --- Spawn ---------------------------------------------------
             if self.is_sp[rec.pc.index()] && self.cfg.thread_units > 1 {
-                if let Some(d) = self.try_spawn(k, rec.pc, f, &doomed) {
+                if let Some(d) = self.try_spawn(t, k, rec.pc, f, &doomed) {
                     doomed.push(d);
                 }
             }
@@ -461,12 +558,20 @@ impl<'a> Engine<'a> {
 
             // --- Memory --------------------------------------------------
             if inst.is_load() {
+                let misses_before = if self.observing { tu.cache.stats().1 } else { 0 };
                 let mut data = tu.cache.access(rec.addr, done);
-                if let Some(fi) = self.faults.as_mut() {
-                    let jitter = fi.jitter();
-                    if jitter > 0 {
-                        self.result.fault_jitter_cycles += jitter;
-                        data += jitter;
+                let cache_hit = !self.observing || tu.cache.stats().1 == misses_before;
+                let jitter = self.faults.as_mut().map_or(0, |fi| fi.jitter());
+                if jitter > 0 {
+                    self.result.fault_jitter_cycles += jitter;
+                    data += jitter;
+                    if self.observing {
+                        self.emit(Event::FaultInjected {
+                            thread: t.id,
+                            unit: t.tu as u32,
+                            cycle: done,
+                            kind: FaultKind::CacheJitter { cycles: jitter },
+                        });
                     }
                 }
                 let mp = self.deps.mem_producer(k);
@@ -485,12 +590,27 @@ impl<'a> Engine<'a> {
                         data = data.max(restart);
                         fetch_cycle = restart;
                         slots = 0;
+                        if self.observing {
+                            self.emit(Event::ViolationDetected {
+                                thread: t.id,
+                                unit: t.tu as u32,
+                                cycle: t2,
+                            });
+                        }
                     } else {
                         // Cross-thread forward out of the versioning cache.
                         data = data.max(self.complete[mp] + self.cfg.forward_latency);
                     }
                 }
                 done = data;
+                if self.observing {
+                    self.emit(Event::CacheAccess {
+                        thread: t.id,
+                        unit: t.tu as u32,
+                        cycle: done,
+                        hit: cache_hit,
+                    });
+                }
             } else if inst.is_store() {
                 tu.cache.touch(rec.addr);
                 done = t2 + 1;
@@ -570,10 +690,19 @@ impl<'a> Engine<'a> {
                         };
                         let mut guess = predictor.predict(key);
                         predictor.train(key, actual);
-                        if let Some(fi) = self.faults.as_mut() {
-                            if fi.roll_corrupt_value() {
-                                guess = guess.wrapping_add(fi.corruption());
-                                self.result.fault_corrupted_values += 1;
+                        let corrupted =
+                            self.faults.as_mut().is_some_and(FaultInjector::roll_corrupt_value);
+                        if corrupted {
+                            let delta = self.faults.as_mut().map_or(0, FaultInjector::corruption);
+                            guess = guess.wrapping_add(delta);
+                            self.result.fault_corrupted_values += 1;
+                            if self.observing {
+                                self.emit(Event::FaultInjected {
+                                    thread: t.id,
+                                    unit: t.tu as u32,
+                                    cycle: t.init_done,
+                                    kind: FaultKind::CorruptedValue,
+                                });
                             }
                         }
                         self.result.value_predictions += 1;
@@ -596,19 +725,27 @@ impl<'a> Engine<'a> {
     /// spawn was a control misspeculation.
     fn try_spawn(
         &mut self,
+        t: &PendingThread,
         k: usize,
         pc: Pc,
         f: u64,
         doomed_so_far: &[DoomedChild],
     ) -> Option<DoomedChild> {
-        if let Some(fi) = self.faults.as_mut() {
-            // Chaos: the spawn opportunity is silently lost (a flaky spawn
-            // unit), before any candidate is even considered.
-            if fi.roll_drop_spawn() {
-                self.result.fault_dropped_spawns += 1;
-                self.result.spawns_declined += 1;
-                return None;
+        // Chaos: the spawn opportunity is silently lost (a flaky spawn
+        // unit), before any candidate is even considered.
+        let spawn_dropped = self.faults.as_mut().is_some_and(FaultInjector::roll_drop_spawn);
+        if spawn_dropped {
+            self.result.fault_dropped_spawns += 1;
+            self.result.spawns_declined += 1;
+            if self.observing {
+                self.emit(Event::FaultInjected {
+                    thread: t.id,
+                    unit: t.tu as u32,
+                    cycle: f,
+                    kind: FaultKind::DroppedSpawn,
+                });
             }
+            return None;
         }
         let reinstate_period = self.cfg.removal.and_then(|p| p.reinstate_after);
         let n_cands = self.table.candidates(pc).len();
@@ -656,20 +793,39 @@ impl<'a> Engine<'a> {
             };
             self.tus[tu].busy = true;
             self.result.threads_spawned += 1;
+            let id = self.next_thread_id;
+            self.next_thread_id += 1;
+            if self.observing {
+                self.emit(Event::ThreadSpawned {
+                    thread: id,
+                    unit: tu as u32,
+                    cycle: f,
+                    speculative: true,
+                });
+            }
             // Chaos: a spontaneous squash kills the child right after the
             // unit was claimed — it burns the unit until its spawner joins,
             // exactly like a control misspeculation, so the committed
             // stream is untouched.
-            if let Some(fi) = self.faults.as_mut() {
-                if fi.roll_squash() {
-                    self.result.fault_forced_squashes += 1;
-                    return Some(DoomedChild {
-                        tu,
-                        spawn_time: f,
-                        cqip_pc: cand.cqip.0,
-                        pair: key,
+            let forced_squash = self.faults.as_mut().is_some_and(FaultInjector::roll_squash);
+            if forced_squash {
+                self.result.fault_forced_squashes += 1;
+                if self.observing {
+                    self.emit(Event::FaultInjected {
+                        thread: id,
+                        unit: tu as u32,
+                        cycle: f,
+                        kind: FaultKind::ForcedSquash,
                     });
                 }
+                return Some(DoomedChild {
+                    id,
+                    tu,
+                    spawn_time: f,
+                    cqip_pc: cand.cqip.0,
+                    pair: key,
+                    fault: true,
+                });
             }
             // Oracle: where does this CQIP next occur?
             let next = self.cqip_occurrences.get(&cand.cqip.0).and_then(|list| {
@@ -687,14 +843,17 @@ impl<'a> Engine<'a> {
                 None => {
                     // Control misspeculation: squashed when we join.
                     return Some(DoomedChild {
+                        id,
                         tu,
                         spawn_time: f,
                         cqip_pc: cand.cqip.0,
                         pair: key,
+                        fault: false,
                     });
                 }
                 Some(j) => {
                     let child = PendingThread {
+                        id,
                         start: j as usize,
                         start_pc: cand.cqip.0,
                         spawn_time: f,
@@ -739,12 +898,14 @@ impl<'a> Engine<'a> {
                     && e.size_samples >= MIN_SIZE_SAMPLES
                     && e.size_sum < u64::from(min) * u64::from(e.size_samples)
             })
-            .max_by(|(_, a), (_, b)| {
+            .max_by(|(ka, a), (kb, b)| {
                 let za = a.size_zeros as f64 / a.size_samples as f64;
                 let zb = b.size_zeros as f64 / b.size_samples as f64;
                 let sa = a.size_sum as f64 / a.size_samples as f64;
                 let sb = b.size_sum as f64 / b.size_samples as f64;
-                za.total_cmp(&zb).then(sb.total_cmp(&sa))
+                // Full ties fall back to the pair key so the pick never
+                // depends on map iteration order.
+                za.total_cmp(&zb).then(sb.total_cmp(&sa)).then(ka.cmp(kb))
             })
             .map(|(k, _)| *k);
         if let Some(e) = worst.and_then(|key| self.pair_rt.get_mut(&key)) {
@@ -784,16 +945,23 @@ impl<'a> Engine<'a> {
             return;
         };
 
-        if let Some(fi) = self.faults.as_mut() {
-            // Chaos: condemn the retiring thread's pair as if a dynamic
-            // policy had removed it.
-            if fi.roll_remove_pair() {
-                let e = self.pair_rt.entry(pair).or_default();
-                if !e.removed {
-                    e.removed = true;
-                    e.removed_at = exec_done;
-                    self.result.pairs_removed += 1;
-                    self.result.fault_forced_removals += 1;
+        // Chaos: condemn the retiring thread's pair as if a dynamic policy
+        // had removed it.
+        let forced_removal = self.faults.as_mut().is_some_and(FaultInjector::roll_remove_pair);
+        if forced_removal {
+            let e = self.pair_rt.entry(pair).or_default();
+            if !e.removed {
+                e.removed = true;
+                e.removed_at = exec_done;
+                self.result.pairs_removed += 1;
+                self.result.fault_forced_removals += 1;
+                if self.observing {
+                    self.emit(Event::FaultInjected {
+                        thread: t.id,
+                        unit: t.tu as u32,
+                        cycle: exec_done,
+                        kind: FaultKind::ForcedRemoval,
+                    });
                 }
             }
         }

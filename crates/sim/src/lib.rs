@@ -59,6 +59,16 @@
 //! every run. A seeded [`FaultPlan`] can inject deterministic hardware
 //! misbehaviour — see the [`faults`](crate::FaultPlan) docs — which the
 //! audit must survive.
+//!
+//! # Observability
+//!
+//! The engine can narrate a run as structured lifecycle events (spawns,
+//! squashes with reasons, commits, violations, cache accesses, injected
+//! faults) from the [`obs`] layer: pass a sink to
+//! [`Simulator::run_with_sink`], or set [`SimConfig::observe`] to aggregate
+//! a [`Metrics`] snapshot onto [`SimResult::metrics`]. Observation never
+//! perturbs the simulation — results are bit-identical either way (a tested
+//! invariant) — and when disabled costs one branch per emission site.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -77,3 +87,6 @@ pub use engine::Simulator;
 pub use error::SimError;
 pub use faults::FaultPlan;
 pub use result::SimResult;
+
+pub use specmt_obs as obs;
+pub use specmt_obs::{EventSink, Metrics};

@@ -1,5 +1,7 @@
 //! Simulation results.
 
+use specmt_obs::{ExpectedTotals, Metrics};
+
 /// Aggregate statistics from one simulation run.
 ///
 /// `cycles` against a [`SimConfig::single_threaded`] run of the same trace
@@ -64,6 +66,12 @@ pub struct SimResult {
     /// Spawning pairs forcibly removed by the fault injector (also counted
     /// in `pairs_removed`).
     pub fault_forced_removals: u64,
+    /// Metrics snapshot aggregated from the run's event stream when
+    /// `SimConfig::observe` was set; `None` otherwise. Excluded from
+    /// [`SimResult::observed_totals`]-style equality concerns: strip it
+    /// (set to `None`) before comparing an observed run against an
+    /// unobserved one.
+    pub metrics: Option<Metrics>,
 }
 
 serde::impl_serde_struct!(SimResult {
@@ -89,6 +97,7 @@ serde::impl_serde_struct!(SimResult {
     fault_corrupted_values,
     fault_jitter_cycles,
     fault_forced_removals,
+    metrics,
 });
 
 impl SimResult {
@@ -157,6 +166,19 @@ impl SimResult {
             0.0
         } else {
             self.value_hits as f64 / self.value_predictions as f64
+        }
+    }
+
+    /// The totals an event-stream [`audit`](specmt_obs::audit) of this
+    /// run must reproduce — the bridge between the engine's ad-hoc
+    /// counters and the observability layer's conservation laws.
+    pub fn observed_totals(&self) -> ExpectedTotals {
+        ExpectedTotals {
+            threads_spawned: self.threads_spawned,
+            threads_committed: self.threads_committed,
+            threads_squashed: self.threads_squashed,
+            violations: self.violations,
+            committed_instructions: self.committed_instructions,
         }
     }
 

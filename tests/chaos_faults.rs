@@ -3,12 +3,16 @@
 //!
 //! Every suite workload is run under a storm of randomly-drawn (but fully
 //! deterministic) [`FaultPlan`]s. Whatever the injector drops, squashes,
-//! corrupts or delays, `Simulator::run` must return `Ok` — the engine's own
+//! corrupts or delays, the simulation must return `Ok` — the engine's own
 //! post-run audit enforces the window-partition, commit-completeness and
 //! unit-accounting invariants — and the committed stream must equal the
-//! sequential trace. The same seed must also reproduce the same result,
-//! bit for bit.
+//! sequential trace. The storm runs through `run_with_sink`, so every run
+//! additionally streams its lifecycle events and the independent
+//! event-stream auditor ([`specmt::obs::audit`]) re-derives and verifies
+//! the engine's totals from the events alone. The same seed must also
+//! reproduce the same result, bit for bit.
 
+use specmt::obs::{audit, EventLog};
 use specmt::predict::ValuePredictorKind;
 use specmt::sim::{FaultPlan, RemovalPolicy, SimConfig, Simulator};
 use specmt::spawn::{profile_pairs, ProfileConfig, SpawnTable};
@@ -85,8 +89,9 @@ fn invariants_survive_one_hundred_fault_storms() {
             let plan = random_plan(&mut state);
             total_plans += 1;
             let cfg = config_for(i, plan);
+            let mut log = EventLog::new();
             let r = Simulator::with_table(trace, cfg, table)
-                .run()
+                .run_with_sink(&mut log)
                 .unwrap_or_else(|e| panic!("{name} under {plan:?}: {e}"));
             assert_eq!(
                 r.committed_instructions,
@@ -98,6 +103,12 @@ fn invariants_survive_one_hundred_fault_storms() {
                 r.threads_spawned + 1,
                 "{name} under {plan:?}: thread accounting leak"
             );
+            // The event stream must independently reproduce those totals.
+            let report = audit(log.events())
+                .unwrap_or_else(|e| panic!("{name} under {plan:?}: {e}"));
+            report
+                .verify(&r.observed_totals())
+                .unwrap_or_else(|e| panic!("{name} under {plan:?}: {e}"));
             any_fault_fired |= r.fault_dropped_spawns
                 + r.fault_forced_squashes
                 + r.fault_corrupted_values
