@@ -33,7 +33,7 @@
 //! `SPECMT_CACHE_DIR` to relocate it.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use specmt_spawn::{ProfileResult, SpawnTable};
 use specmt_trace::Trace;
@@ -100,6 +100,58 @@ fn entry_stem(workload: &Workload, scale: Scale) -> Option<String> {
     ))
 }
 
+/// The pid suffix of a writer's temp file name (`<entry>.<ext>.tmpPID`),
+/// if `name` is one.
+fn tmp_pid(name: &str) -> Option<u32> {
+    let (_, suffix) = name.rsplit_once(".tmp")?;
+    suffix.parse().ok()
+}
+
+/// Whether a temp file belongs to a crashed writer. The owning process
+/// still running (checked via `/proc` where it exists) keeps its file;
+/// where liveness cannot be checked, only files over an hour old count as
+/// abandoned.
+fn tmp_is_stale(pid: u32, path: &Path) -> bool {
+    if pid == std::process::id() {
+        return false;
+    }
+    if Path::new("/proc").is_dir() {
+        return !Path::new(&format!("/proc/{pid}")).exists();
+    }
+    fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .is_some_and(|age| age.as_secs() > 3600)
+}
+
+/// Remove temp files left behind by crashed writers. The temp-file +
+/// rename protocol in [`store`] guarantees torn *entries* are impossible,
+/// but a process killed mid-write leaks its `.tmpPID` files; this sweep
+/// collects them on cache open without touching live entries or the temp
+/// files of still-running writers.
+fn sweep_stale_tmp(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        if tmp_pid(name).is_some_and(|pid| tmp_is_stale(pid, &entry.path())) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Runs the stale-temp sweep at most once per process (the suite loads
+/// eight workloads through [`load`]; one sweep covers them all).
+fn sweep_once(dir: &Path) {
+    static SWEEP: std::sync::Once = std::sync::Once::new();
+    SWEEP.call_once(|| sweep_stale_tmp(dir));
+}
+
 /// Loads a cache entry, returning the workload back on any miss.
 ///
 /// A miss is silent by design: unreadable, truncated, corrupted or stale
@@ -112,6 +164,7 @@ pub(crate) fn load(workload: Workload, scale: Scale) -> Result<CachedParts, Work
         return Err(workload);
     };
     let dir = dir();
+    sweep_once(&dir);
     let parsed = (|| {
         let bytes = fs::read(dir.join(format!("{stem}.trace"))).ok()?;
         let trace = Trace::read_from(&bytes[..]).ok()?;
@@ -176,5 +229,60 @@ pub(crate) fn store(
             let _ = fs::remove_file(&tmp);
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch directory unique to one test, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir = std::env::temp_dir()
+                .join(format!("specmt-cache-test-{}-{tag}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).expect("create scratch dir");
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn tmp_pid_parses_only_writer_temp_names() {
+        assert_eq!(tmp_pid("li-tiny-abc.trace.tmp1234"), Some(1234));
+        assert_eq!(tmp_pid("li-tiny-abc.meta.json.tmp7"), Some(7));
+        assert_eq!(tmp_pid("li-tiny-abc.trace"), None);
+        assert_eq!(tmp_pid("li-tiny-abc.trace.tmp"), None);
+        assert_eq!(tmp_pid("li-tiny-abc.trace.tmpnotapid"), None);
+    }
+
+    #[test]
+    fn sweep_removes_orphans_and_spares_live_files() {
+        let scratch = Scratch::new("sweep");
+        let dir = &scratch.0;
+        // An orphan from a "crashed" writer: no such pid can exist (the
+        // kernel's pid space ends far below u32::MAX).
+        let orphan = dir.join(format!("li-tiny-abc.trace.tmp{}", u32::MAX));
+        // A temp file owned by this very process: a live writer mid-store.
+        let live_tmp = dir.join(format!("li-tiny-abc.meta.json.tmp{}", std::process::id()));
+        // A committed entry, which must never be touched.
+        let entry = dir.join("li-tiny-abc.trace");
+        for f in [&orphan, &live_tmp, &entry] {
+            fs::write(f, b"payload").expect("plant file");
+        }
+
+        sweep_stale_tmp(dir);
+
+        assert!(!orphan.exists(), "orphaned temp file must be swept");
+        assert!(live_tmp.exists(), "a live writer's temp file must survive");
+        assert!(entry.exists(), "committed entries must survive");
     }
 }

@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use specmt_exec::Task;
 use specmt_sim::{ConfigDelta, SimConfig, SimResult};
 use specmt_stats::{arithmetic_mean, harmonic_mean, Table};
 
@@ -157,18 +158,24 @@ impl ExperimentSpec {
         self
     }
 
-    /// Runs the whole grid: every (benchmark, variant) cell is simulated
-    /// in parallel (each cell is an independent deterministic run), spawn
-    /// tables are resolved through the scheme registry and shared via the
-    /// per-benchmark memo.
+    /// Runs the whole grid through the supervised batch executor
+    /// configured on the harness ([`Harness::exec`]): every (benchmark,
+    /// variant) cell is an independent deterministic simulation run on a
+    /// bounded worker pool with panic isolation, deadlines, and retries —
+    /// a wedged or panicking cell degrades into a structured error
+    /// instead of taking the sweep down, and results are bit-identical at
+    /// any `jobs` count. Spawn tables are resolved through the scheme
+    /// registry up front and shared via the per-benchmark memo.
     ///
     /// # Errors
     ///
     /// The first cell's failure: [`HarnessError::Scheme`] for an unknown
-    /// scheme, [`HarnessError::Bench`] for a simulation failure.
+    /// scheme, [`HarnessError::Bench`] for a simulation failure, or
+    /// [`HarnessError::Supervised`] for a cell the executor had to
+    /// degrade (panic, deadline, or batch-budget skip).
     pub fn run(&self, h: &Harness) -> Result<ExperimentGrid, HarnessError> {
         // Resolve every (bench, scheme) table up front so scheme errors
-        // surface before any simulation starts, and so the parallel cells
+        // surface before any simulation starts, and so the batch cells
         // below only clone Arcs.
         let mut tables: Vec<Vec<Arc<specmt_spawn::SpawnTable>>> = Vec::new();
         for ctx in &h.benches {
@@ -179,36 +186,31 @@ impl ExperimentSpec {
                 .collect::<Result<Vec<_>, _>>()?;
             tables.push(row);
         }
-        type Cell = Result<(f64, SimResult), HarnessError>;
-        let n = h.benches.len() * self.variants.len();
-        let mut cells: Vec<Option<Cell>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let mut rest = &mut cells[..];
-            for (bi, ctx) in h.benches.iter().enumerate() {
-                let (row, tail) = rest.split_at_mut(self.variants.len());
-                rest = tail;
-                for ((vi, variant), slot) in self.variants.iter().enumerate().zip(row) {
-                    let cfg = variant.config(&self.base, ctx.bench.name());
-                    let table = Arc::clone(&tables[bi][vi]);
-                    s.spawn(move || {
-                        *slot = Some((|| {
-                            let r = ctx.sim(cfg, &table)?;
-                            let v = variant.metric.measure(ctx, &r)?;
-                            Ok((v, r))
-                        })());
-                    });
-                }
+        let mut tasks = Vec::with_capacity(h.benches.len() * self.variants.len());
+        for (bi, ctx) in h.benches.iter().enumerate() {
+            for (vi, variant) in self.variants.iter().enumerate() {
+                let cfg = variant.config(&self.base, ctx.bench.name());
+                let table = Arc::clone(&tables[bi][vi]);
+                let ctx = Arc::clone(ctx);
+                let metric = variant.metric;
+                tasks.push(Task::new(
+                    format!("{}/{}", ctx.bench.name(), variant.label),
+                    move || -> Result<(f64, SimResult), HarnessError> {
+                        let r = ctx.sim(cfg.clone(), &table)?;
+                        let v = metric.measure(&ctx, &r)?;
+                        Ok((v, r))
+                    },
+                ));
             }
-        });
+        }
+        let cells = crate::run_supervised(&h.executor(), tasks)?;
         let mut values = vec![Vec::with_capacity(h.benches.len()); self.variants.len()];
         let mut results = vec![Vec::with_capacity(h.benches.len()); self.variants.len()];
-        let mut it = cells.into_iter();
-        for _ in &h.benches {
-            for vi in 0..self.variants.len() {
-                let (v, r) = it.next().flatten().expect("cell filled")?;
-                values[vi].push(v);
-                results[vi].push(r);
-            }
+        for (i, cell) in cells.into_iter().enumerate() {
+            let (v, r) = cell?;
+            let vi = i % self.variants.len();
+            values[vi].push(v);
+            results[vi].push(r);
         }
         let means = values.iter().map(|col| self.mean.of(col)).collect();
         Ok(ExperimentGrid {

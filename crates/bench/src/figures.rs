@@ -1115,13 +1115,26 @@ pub struct RunOutcome {
 
 /// Runs a set of figure definitions to completion, never aborting early: a
 /// definition that fails is recorded in [`RunOutcome::errors`] (and as an
-/// `"error"` summary entry) and the remaining definitions still run. With
-/// `save` set, each built figure is persisted via [`Figure::save`]; a
-/// failed save counts as that figure's failure.
+/// `"error"` summary entry) and the remaining definitions still run. A
+/// builder that *panics* is isolated the same way — caught at this
+/// boundary and recorded as a degraded [`HarnessError::Supervised`] entry
+/// rather than aborting the batch. With `save` set, each built figure is
+/// persisted via [`Figure::save`]; a failed save counts as that figure's
+/// failure.
 pub fn run_defs(h: &Harness, defs: &[&FigureDef], save: bool) -> RunOutcome {
     let mut out = RunOutcome::default();
     for def in defs {
-        match (def.build)(h) {
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (def.build)(h)))
+            .unwrap_or_else(|payload| {
+                Err(HarnessError::Supervised {
+                    label: def.id.to_string(),
+                    outcome: specmt_exec::CellOutcome::Panicked {
+                        attempts: 1,
+                        message: specmt_exec::panic_message(payload.as_ref()),
+                    },
+                })
+            });
+        match built {
             Ok(figs) => {
                 for fig in figs {
                     let entry = if save {

@@ -41,6 +41,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use specmt_exec::{CellOutcome, ExecConfig, Executor, Task};
 use specmt_sim::{RemovalPolicy, SimConfig, SimResult};
 use specmt_spawn::{
     HeuristicSet, ProfileConfig, ProfileResult, SchemeError, SchemeParams, SchemeRegistry,
@@ -77,6 +78,14 @@ pub enum HarnessError {
         /// The underlying I/O failure.
         source: std::io::Error,
     },
+    /// A supervised batch cell degraded (panicked, timed out, or was
+    /// skipped) where the caller needed a complete batch.
+    Supervised {
+        /// The degraded cell's label.
+        label: String,
+        /// How the cell ended.
+        outcome: CellOutcome,
+    },
 }
 
 impl HarnessError {
@@ -108,6 +117,9 @@ impl std::fmt::Display for HarnessError {
             HarnessError::Persist { id, source } => {
                 write!(f, "could not persist `{id}`: {source}")
             }
+            HarnessError::Supervised { label, outcome } => {
+                write!(f, "cell `{label}` degraded: {outcome}")
+            }
         }
     }
 }
@@ -118,7 +130,7 @@ impl std::error::Error for HarnessError {
             HarnessError::Bench { source, .. } => Some(source),
             HarnessError::Scheme(e) => Some(e),
             HarnessError::Persist { source, .. } => Some(source),
-            HarnessError::Scale { .. } => None,
+            HarnessError::Scale { .. } | HarnessError::Supervised { .. } => None,
         }
     }
 }
@@ -241,14 +253,49 @@ impl BenchCtx {
 /// The loaded suite.
 #[derive(Debug)]
 pub struct Harness {
-    /// Per-benchmark contexts, in the paper's reporting order.
-    pub benches: Vec<BenchCtx>,
+    /// Per-benchmark contexts, in the paper's reporting order. `Arc`'d so
+    /// supervised batch tasks can capture a context without borrowing the
+    /// harness (executor workers are detached threads).
+    pub benches: Vec<Arc<BenchCtx>>,
     /// The scale everything was generated at.
     pub scale: Scale,
     /// The spawning schemes experiments may reference by name.
     pub registry: SchemeRegistry,
     /// Shared selection parameters for [`BenchCtx::table_for`].
     pub params: SchemeParams,
+    /// Supervision settings for every parallel batch the harness runs
+    /// (suite loading, scheme sweeps, experiment grids). Defaults to
+    /// unbounded time and one worker per CPU; `specmt bench --jobs N
+    /// --deadline SECS --max-retries K` overrides it.
+    pub exec: ExecConfig,
+}
+
+/// Run a batch of fallible tasks under `exec` supervision and demand a
+/// complete batch: values come back in submission order, and the first
+/// degraded cell (panicked, timed out, or skipped) becomes a structured
+/// [`HarnessError::Supervised`] instead of a propagated panic.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Supervised`] naming the first degraded cell.
+pub fn run_supervised<T: Send + 'static>(
+    exec: &Executor,
+    tasks: Vec<Task<T>>,
+) -> Result<Vec<T>, HarnessError> {
+    let batch = exec.run_batch(tasks);
+    let mut values = Vec::with_capacity(batch.values.len());
+    for (value, cell) in batch.values.into_iter().zip(&batch.report.cells) {
+        match value {
+            Some(v) => values.push(v),
+            None => {
+                return Err(HarnessError::Supervised {
+                    label: cell.label.clone(),
+                    outcome: cell.outcome.clone(),
+                })
+            }
+        }
+    }
+    Ok(values)
 }
 
 /// Reads the scale from `SPECMT_SCALE` (default: medium).
@@ -287,24 +334,28 @@ impl Harness {
     ///
     /// As [`Harness::load`].
     pub fn load_at(scale: Scale) -> Result<Harness, HarnessError> {
-        let names = specmt_workloads::SUITE_NAMES;
-        let mut slots: Vec<Option<Result<BenchCtx, HarnessError>>> =
-            (0..names.len()).map(|_| None).collect();
-        std::thread::scope(|s| {
-            for (slot, name) in slots.iter_mut().zip(names) {
-                s.spawn(move || *slot = Some(BenchCtx::load(name, scale)));
-            }
-        });
-        let benches = slots
+        let exec = ExecConfig::default();
+        let tasks = specmt_workloads::SUITE_NAMES
+            .iter()
+            .map(|&name| Task::new(name, move || BenchCtx::load(name, scale)))
+            .collect();
+        let benches = run_supervised(&Executor::new(exec.clone()), tasks)?
             .into_iter()
-            .map(|s| s.expect("slot filled"))
+            .map(|loaded| loaded.map(Arc::new))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Harness {
             benches,
             scale,
             registry: SchemeRegistry::builtin(),
             params: SchemeParams::default(),
+            exec,
         })
+    }
+
+    /// The supervised executor harness batches run on, configured by
+    /// [`Harness::exec`].
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.exec.clone())
     }
 
     /// Runs `config` with each benchmark's profile table, returning
@@ -350,22 +401,22 @@ impl Harness {
         config: &SimConfig,
         table: impl Fn(usize, &BenchCtx) -> Arc<SpawnTable> + Sync,
     ) -> Result<Vec<(&'static str, f64, SimResult)>, HarnessError> {
-        type Run = Result<(&'static str, f64, SimResult), HarnessError>;
-        let mut out: Vec<Option<Run>> = (0..self.benches.len()).map(|_| None).collect();
-        std::thread::scope(|s| {
-            for (i, (slot, ctx)) in out.iter_mut().zip(&self.benches).enumerate() {
+        let tasks = self
+            .benches
+            .iter()
+            .enumerate()
+            .map(|(i, ctx)| {
+                let t = table(i, ctx.as_ref());
+                let ctx = Arc::clone(ctx);
                 let cfg = config.clone();
-                let t = table(i, ctx);
-                s.spawn(move || {
-                    *slot = Some((|| {
-                        let r = ctx.sim(cfg, &t)?;
-                        let sp = ctx.speedup(&r)?;
-                        Ok((ctx.bench.name(), sp, r))
-                    })());
-                });
-            }
-        });
-        out.into_iter().map(|s| s.expect("slot filled")).collect()
+                Task::new(ctx.bench.name(), move || {
+                    let r = ctx.sim(cfg.clone(), &t)?;
+                    let sp = ctx.speedup(&r)?;
+                    Ok((ctx.bench.name(), sp, r))
+                })
+            })
+            .collect();
+        run_supervised(&self.executor(), tasks)?.into_iter().collect()
     }
 
     /// Force `SimConfig::observe` on (or stop forcing it) for every

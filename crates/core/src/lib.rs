@@ -22,6 +22,7 @@
 //! | [`predict`] | `specmt-predict` | gshare + value predictors |
 //! | [`obs`] | `specmt-obs` | lifecycle events, metrics, Chrome trace export, conservation-law auditor |
 //! | [`sim`] | `specmt-sim` | the CSMP timing model |
+//! | [`exec`] | `specmt-exec` | supervised batch executor: panic isolation, deadlines, retries |
 //! | [`stats`] | `specmt-stats` | means, tables, charts |
 //! | [`bench`] | `specmt-bench` | [`Bench`], the suite [`bench::Harness`], experiment specs, the figure registry |
 //!
@@ -48,6 +49,7 @@
 
 pub use specmt_analysis as analysis;
 pub use specmt_isa as isa;
+pub use specmt_exec as exec;
 pub use specmt_obs as obs;
 pub use specmt_predict as predict;
 pub use specmt_sim as sim;

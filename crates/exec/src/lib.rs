@@ -1,0 +1,48 @@
+//! # specmt-exec
+//!
+//! Supervised batch executor for parallel simulation sweeps.
+//!
+//! The harness runs experiment grids of hundreds of (workload × scheme ×
+//! config) cells. Each cell is pure — a deterministic simulation over
+//! `Arc`'d immutable artifacts — but a single panicking or wedged cell
+//! must not take the whole sweep down. This crate supplies the
+//! robustness layer between "a grid of closures" and "a vector of
+//! results":
+//!
+//! * [`Executor`] — a bounded work-stealing pool ([`ExecConfig::jobs`]
+//!   seats, per-seat deques plus a shared injector for retries) running
+//!   one [`Task`] per cell.
+//! * **Panic isolation** — every attempt runs inside `catch_unwind`; a
+//!   panic becomes a structured [`TaskError`], never an abort.
+//! * **Deadlines** — a watchdog thread abandons attempts that overrun
+//!   the per-cell [`ExecConfig::deadline`] and enforces the whole-batch
+//!   [`ExecConfig::budget`] (expiry skips still-queued cells). Abandoned
+//!   worker threads are replaced; the pool never shrinks.
+//! * **Deterministic retries** — faulted cells are re-queued up to
+//!   [`ExecConfig::max_retries`] times with exponential backoff and no
+//!   jitter; because cells are pure, a retry reproduces the original
+//!   attempt's value bit-for-bit.
+//! * **Graceful degradation** — [`Executor::run_batch`] always returns:
+//!   a [`BatchResult`] with per-cell values (`None` where degraded) and
+//!   a [`BatchReport`] recording every cell's [`CellOutcome`].
+//! * **Chaos** — [`ExecChaosPlan`] injects executor-level faults
+//!   (poisoned cells, wedged tasks, killed workers) as pure functions of
+//!   `(seed, cell, attempt)`, mirroring the simulator's `FaultPlan`
+//!   discipline, for the storm tests in `tests/chaos_faults.rs`.
+//! * **Auditability** — with a [`TaskLog`](specmt_obs::TaskLog)
+//!   attached, every lifecycle event streams through `specmt-obs`, and
+//!   `specmt_obs::audit_batch` can verify that completed + retried +
+//!   degraded cells exactly partition the submitted batch.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod executor;
+mod report;
+
+pub use config::{ExecChaosPlan, ExecConfig};
+pub use executor::{panic_message, BatchResult, Executor, Task};
+pub use report::{
+    BatchReport, BatchStatus, CellOutcome, CellReport, SkipReason, TaskError, TaskErrorKind,
+};
