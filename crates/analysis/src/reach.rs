@@ -319,28 +319,20 @@ impl ReachingAnalysis {
 }
 
 /// One worker's slice of the word-parallel scan: it owns the whole-word
-/// range `[w0, w1)` of source bits (sources `w0 * 64 .. min(w1 * 64, n)`)
-/// and scans the full event stream once, maintaining window state only for
-/// its sources.
+/// range `[w0, w1)` of source bits (sources `w0 * 64 .. min(w1 * 64, n)`).
 ///
-/// State layout (source bitsets use one `u64` word per 64 shard sources;
-/// destination bitsets one word per 64 tracked blocks):
-///
-/// * `open` — sources with an open window,
-/// * `credited[j]` — sources whose current window already credited
-///   destination `j` (the transpose of the naive path's per-source `seen`
-///   sets, restricted to the shard),
-/// * `seen[i]` — destinations credited by source `i`'s current window, so
-///   reopening a window un-credits in time proportional to the credits
-///   actually made instead of `O(n)`.
-///
-/// Per event `j` the shard computes `newly = open & !credited[j]` word by
-/// word and walks only the set bits via trailing-zeros — each set bit is a
-/// genuine `reach`/`dist_sum` increment, so total work beyond the word
-/// operations is bounded by the number of credits (which the naive path
-/// performs too). The two counters live interleaved in one scratch `cells`
-/// array (`[reach, dist]` pairs) so each credit touches a single cache
-/// line; the pairs are split into the output matrices once, at the end.
+/// The shard decomposes its sources into 64-wide words and runs one pass of
+/// a *single-source-word* kernel per word ([`scan_word_wide`], or the
+/// fixed-grid [`scan_word_small`] when the whole problem fits 64
+/// destinations). Every pass keeps its open-window set in one scalar `u64`
+/// and its credited bits in a flat `credited[j]` column (one word per
+/// destination), so multi-word problems (n > 64 tracked blocks — big pruned
+/// CFGs) pay exactly the same branchless per-event cost as the single-word
+/// case, once per owned word, instead of falling back to a general kernel
+/// with per-credit bookkeeping. Re-reading the (pre-filtered, dense) event
+/// list once per 64 sources is sequential and cheap; the per-credit work —
+/// one `[reach, dist]` cell bump found by trailing-zeros extraction — is
+/// identical to what the naive path performs.
 struct Shard {
     /// First source owned by this shard.
     lo: usize,
@@ -348,140 +340,132 @@ struct Shard {
     count: usize,
     /// Total tracked blocks (row length of the output matrices).
     n: usize,
-    open: Vec<u64>,
-    win_start: Vec<u64>,
-    credited: Vec<u64>,
-    seen: Vec<u64>,
 }
 
 impl Shard {
     fn new(w0: usize, w1: usize, n: usize) -> Shard {
         let lo = (w0 * 64).min(n);
         let hi = (w1 * 64).min(n);
-        let count = hi - lo;
-        let words = w1 - w0;
-        let dwords = n.div_ceil(64);
         Shard {
             lo,
-            count,
+            count: hi - lo,
             n,
-            open: vec![0; words],
-            win_start: vec![0; count],
-            credited: vec![0; n * words],
-            seen: vec![0; count * dwords],
         }
     }
 
     /// Scans `events` (pre-filtered `(dense source id, cumulative
     /// instructions)` pairs), accumulating into this shard's rows of the
-    /// `reach` / `dist_sum` matrices (`count * n` elements each).
+    /// `reach` / `dist_sum` matrices (`count * n` elements each). The two
+    /// counters live interleaved in one scratch `cells` array (`[reach,
+    /// dist]` pairs) so each credit touches a single cache line; the pairs
+    /// are split into the output matrices once, at the end.
     fn scan(self, events: &[(u32, u64)], reach: &mut [u64], dist_sum: &mut [u64]) {
         if self.count == 0 {
             return;
         }
         debug_assert_eq!(reach.len(), self.count * self.n);
         let mut cells = vec![[0u64; 2]; self.count * self.n];
-        if self.open.len() == 1 && self.n <= 64 {
-            self.scan_1x1(events, &mut cells);
-        } else {
-            self.scan_words(events, &mut cells);
+        let mut w = 0;
+        while w * 64 < self.count {
+            let lo = self.lo + w * 64;
+            let cnt = (self.count - w * 64).min(64);
+            let word_cells = &mut cells[w * 64 * self.n..][..cnt * self.n];
+            if self.n <= 64 {
+                scan_word_small(lo, cnt, self.n, events, word_cells);
+            } else {
+                scan_word_wide(lo, cnt, self.n, events, word_cells);
+            }
+            w += 1;
         }
         for (k, &[r, d]) in cells.iter().enumerate() {
             reach[k] = r;
             dist_sum[k] = d;
         }
     }
+}
 
-    /// The common case: the shard's sources fit one `u64` *and* there are at
-    /// most 64 destinations, so every bitset in play is a scalar word.
-    /// Un-crediting a reopened window is a branchless bit-clear sweep over
-    /// the (at most 64-word) credited array, which vectorises — so the
-    /// per-credit loop carries no bookkeeping at all. All hot state lives in
-    /// fixed 64-wide arrays indexed through `& 63` masks, keeping every
-    /// index provably in range so no bounds checks survive in the loop.
-    fn scan_1x1(self, events: &[(u32, u64)], cells: &mut [[u64; 2]]) {
-        let n = self.n;
-        let lo = self.lo;
-        let hi = lo + self.count;
-        let mut open = 0u64;
-        let mut credited = [0u64; 64];
-        let mut win_start = [0u64; 64];
-        let mut grid: Box<[[u64; 2]; 64 * 64]> = vec![[0u64; 2]; 64 * 64]
-            .into_boxed_slice()
-            .try_into()
-            .expect("fixed grid size");
-        for &(j, cum) in events {
-            debug_assert!((j as usize) < n);
-            let j = (j as usize) & 63;
-            // Credit every open shard source that has not yet seen `j`.
-            // `credited[j] | newly == credited[j] | open` because credited
-            // bits only ever belong to open sources.
-            let cw = credited[j];
-            let mut newly = open & !cw;
-            credited[j] = cw | open;
-            while newly != 0 {
-                let i = newly.trailing_zeros() as usize & 63;
-                newly &= newly - 1;
-                let cell = &mut grid[(i << 6) | j];
-                cell[0] += 1;
-                cell[1] += cum - win_start[i];
-            }
-            // If this shard owns `j` as a source, close its previous window
-            // and open a fresh one: un-credit it everywhere.
-            if (lo..hi).contains(&j) {
-                let i = (j - lo) & 63;
-                let bit = 1u64 << i;
-                for cred in credited[..n].iter_mut() {
-                    *cred &= !bit;
-                }
-                win_start[i] = cum;
-                open |= bit;
-            }
+/// One pass over the events for the source word `lo .. lo + count`
+/// (`count <= 64`), with at most 64 destinations: every bitset in play is a
+/// scalar word. Un-crediting a reopened window is a branchless bit-clear
+/// sweep over the (at most 64-word) credited array, which vectorises — so
+/// the per-credit loop carries no bookkeeping at all. All hot state lives
+/// in fixed 64-wide arrays indexed through `& 63` masks, keeping every
+/// index provably in range so no bounds checks survive in the loop.
+fn scan_word_small(lo: usize, count: usize, n: usize, events: &[(u32, u64)], cells: &mut [[u64; 2]]) {
+    let hi = lo + count;
+    let mut open = 0u64;
+    let mut credited = [0u64; 64];
+    let mut win_start = [0u64; 64];
+    let mut grid: Box<[[u64; 2]; 64 * 64]> = vec![[0u64; 2]; 64 * 64]
+        .into_boxed_slice()
+        .try_into()
+        .expect("fixed grid size");
+    for &(j, cum) in events {
+        debug_assert!((j as usize) < n);
+        let j = (j as usize) & 63;
+        // Credit every open word source that has not yet seen `j`.
+        // `credited[j] | newly == credited[j] | open` because credited
+        // bits only ever belong to open sources.
+        let cw = credited[j];
+        let mut newly = open & !cw;
+        credited[j] = cw | open;
+        while newly != 0 {
+            let i = newly.trailing_zeros() as usize & 63;
+            newly &= newly - 1;
+            let cell = &mut grid[(i << 6) | j];
+            cell[0] += 1;
+            cell[1] += cum - win_start[i];
         }
-        for i in 0..self.count {
-            for j in 0..n {
-                cells[i * n + j] = grid[(i << 6) | j];
+        // If this word owns `j` as a source, close its previous window
+        // and open a fresh one: un-credit it everywhere.
+        if (lo..hi).contains(&j) {
+            let i = (j - lo) & 63;
+            let bit = 1u64 << i;
+            for cred in credited[..n].iter_mut() {
+                *cred &= !bit;
             }
+            win_start[i] = cum;
+            open |= bit;
         }
     }
+    for i in 0..count {
+        for j in 0..n {
+            cells[i * n + j] = grid[(i << 6) | j];
+        }
+    }
+}
 
-    /// The general kernel: any number of source words per shard and any
-    /// number of destinations.
-    fn scan_words(mut self, events: &[(u32, u64)], cells: &mut [[u64; 2]]) {
-        let n = self.n;
-        let words = self.open.len();
-        let dwords = n.div_ceil(64);
-        for &(j, cum) in events {
-            let j = j as usize;
-            let cred = &mut self.credited[j * words..(j + 1) * words];
-            for (w, (open_w, cred_w)) in self.open.iter().zip(cred.iter_mut()).enumerate() {
-                let mut newly = open_w & !*cred_w;
-                *cred_w |= newly;
-                while newly != 0 {
-                    let i = w * 64 + newly.trailing_zeros() as usize;
-                    newly &= newly - 1;
-                    let cell = &mut cells[i * n + j];
-                    cell[0] += 1;
-                    cell[1] += cum - self.win_start[i];
-                    self.seen[i * dwords + j / 64] |= 1u64 << (j % 64);
-                }
+/// As [`scan_word_small`] for any number of destinations (n > 64): the
+/// credited column grows to one `u64` per destination, the open set stays a
+/// scalar word, and the un-credit sweep on window reopen is the same
+/// branchless bit-clear, now over `n` words. The output cells are written
+/// in place (no fixed grid), with `i < count` guaranteed because open bits
+/// are only ever set for sources this word owns.
+fn scan_word_wide(lo: usize, count: usize, n: usize, events: &[(u32, u64)], cells: &mut [[u64; 2]]) {
+    let hi = lo + count;
+    let mut open = 0u64;
+    let mut credited = vec![0u64; n];
+    let mut win_start = [0u64; 64];
+    for &(j, cum) in events {
+        let j = j as usize;
+        let cw = credited[j];
+        let mut newly = open & !cw;
+        credited[j] = cw | open;
+        while newly != 0 {
+            let i = newly.trailing_zeros() as usize & 63;
+            newly &= newly - 1;
+            let cell = &mut cells[i * n + j];
+            cell[0] += 1;
+            cell[1] += cum - win_start[i];
+        }
+        if (lo..hi).contains(&j) {
+            let i = (j - lo) & 63;
+            let bit = 1u64 << i;
+            for cred in credited.iter_mut() {
+                *cred &= !bit;
             }
-            if (self.lo..self.lo + self.count).contains(&j) {
-                let i = j - self.lo;
-                let word = i / 64;
-                let bit = 1u64 << (i % 64);
-                for w in 0..dwords {
-                    let mut s = self.seen[i * dwords + w];
-                    self.seen[i * dwords + w] = 0;
-                    while s != 0 {
-                        let d = w * 64 + s.trailing_zeros() as usize;
-                        s &= s - 1;
-                        self.credited[d * words + word] &= !bit;
-                    }
-                }
-                self.win_start[i] = cum;
-                self.open[word] |= bit;
-            }
+            win_start[i] = cum;
+            open |= bit;
         }
     }
 }
@@ -634,6 +618,38 @@ mod tests {
             &ReachingAnalysis::compute(&stream, &subset),
             &ReachingAnalysis::compute_naive(&stream, &subset),
         );
+    }
+
+    #[test]
+    fn multi_word_fast_path_matches_naive_at_word_boundaries() {
+        // A chain of small loops yields > 200 blocks; tracking exactly
+        // n = 63/64/65/200 of them straddles the one-word/multi-word
+        // boundary of the per-word kernels (63/64 run the fixed-grid
+        // kernel, 65/200 the wide-destination kernel across 2/4 source
+        // words).
+        let mut b = ProgramBuilder::new();
+        for k in 0..110 {
+            let top = b.fresh_label(&format!("top{k}"));
+            b.li(Reg::R1, 0);
+            b.li(Reg::R2, 3 + (k % 5));
+            b.bind(top);
+            b.addi(Reg::R1, Reg::R1, 1);
+            b.blt(Reg::R1, Reg::R2, top);
+        }
+        b.halt();
+        let program = b.build().unwrap();
+        let bbs = BasicBlocks::of(&program);
+        let trace = Trace::generate(program, 1_000_000).unwrap();
+        let stream = BlockStream::new(&trace, &bbs);
+        let all: Vec<BlockId> = (0..bbs.num_blocks() as BlockId).collect();
+        assert!(all.len() >= 200, "want >= 200 blocks, got {}", all.len());
+        for n in [63usize, 64, 65, 200] {
+            let subset: Vec<BlockId> = all[..n].to_vec();
+            assert_identical(
+                &ReachingAnalysis::compute(&stream, &subset),
+                &ReachingAnalysis::compute_naive(&stream, &subset),
+            );
+        }
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The [`Bench`] convenience wrapper: one ready-to-simulate benchmark.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use specmt_sim::{SimConfig, SimError, SimResult, Simulator};
 use specmt_spawn::{
     heuristic_pairs, profile_pairs, HeuristicSet, ProfileConfig, ProfileResult, SpawnTable,
 };
-use specmt_trace::{Trace, TraceError};
+use specmt_trace::{DepGraph, Trace, TraceError};
 use specmt_workloads::{Scale, Workload};
 
 /// A ready-to-simulate benchmark: the workload, its dynamic trace, and a
@@ -37,6 +37,9 @@ pub struct Bench {
     workload: Workload,
     trace: Trace,
     baseline: OnceLock<u64>,
+    /// The trace's dependence graph, built on first simulation and shared
+    /// by every subsequent run (it is a pure function of the trace).
+    deps: OnceLock<Arc<DepGraph>>,
 }
 
 impl Bench {
@@ -67,6 +70,7 @@ impl Bench {
             workload,
             trace,
             baseline: OnceLock::new(),
+            deps: OnceLock::new(),
         })
     }
 
@@ -102,6 +106,7 @@ impl Bench {
             workload,
             trace,
             baseline: OnceLock::new(),
+            deps: OnceLock::new(),
         };
         if let Some(cycles) = baseline {
             let _ = bench.baseline.set(cycles);
@@ -137,6 +142,16 @@ impl Bench {
         &self.trace
     }
 
+    /// The trace's dependence graph, built once on first use and shared by
+    /// every simulation this bench runs (sweeps over configurations and
+    /// spawn tables re-analyse nothing).
+    pub fn deps(&self) -> Arc<DepGraph> {
+        Arc::clone(
+            self.deps
+                .get_or_init(|| Arc::new(DepGraph::build(&self.trace))),
+        )
+    }
+
     /// Cycles of the single-threaded baseline (computed once, cached).
     ///
     /// # Errors
@@ -147,10 +162,15 @@ impl Bench {
         if let Some(&cycles) = self.baseline.get() {
             return Ok(cycles);
         }
-        let cycles = Simulator::new(&self.trace, SimConfig::single_threaded())
-            .run()
-            .map_err(BenchError::Sim)?
-            .cycles;
+        let cycles = Simulator::with_deps(
+            &self.trace,
+            self.deps(),
+            SimConfig::single_threaded(),
+            &SpawnTable::empty(),
+        )
+        .run()
+        .map_err(BenchError::Sim)?
+        .cycles;
         Ok(*self.baseline.get_or_init(|| cycles))
     }
 
@@ -171,7 +191,7 @@ impl Bench {
     /// Returns [`BenchError::Sim`] for an invalid configuration or a failed
     /// post-run invariant audit (see [`SimError`]).
     pub fn run(&self, config: SimConfig, table: &SpawnTable) -> Result<SimResult, BenchError> {
-        Simulator::with_table(&self.trace, config, table)
+        Simulator::with_deps(&self.trace, self.deps(), config, table)
             .run()
             .map_err(BenchError::Sim)
     }
@@ -189,7 +209,7 @@ impl Bench {
         table: &SpawnTable,
         sink: &mut dyn specmt_sim::EventSink,
     ) -> Result<SimResult, BenchError> {
-        Simulator::with_table(&self.trace, config, table)
+        Simulator::with_deps(&self.trace, self.deps(), config, table)
             .run_with_sink(sink)
             .map_err(BenchError::Sim)
     }

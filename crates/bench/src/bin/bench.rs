@@ -14,14 +14,19 @@
 //!   startup, before vs after this cache existed).
 //!
 //! The JSON is merged per scale, so tiny (CI) and medium (headline)
-//! sections coexist. Derived ratios record the before/after story:
-//! `reach_speedup` (naive / word-parallel) and `warm_cache_speedup`
-//! (cold / warm suite load).
+//! sections coexist. A `throughput` section records
+//! `sim_instructions_per_sec` (dynamic instructions the paper-config
+//! simulation retires per wall-second). Derived ratios record the
+//! before/after story: `reach_speedup` (naive / word-parallel),
+//! `warm_cache_speedup` (cold / warm suite load) and `sim_speedup`
+//! (previously committed / measured `sim_paper16_gcc_ms`).
 //!
 //! Flags:
 //!
 //! * `--check` — compare against the committed JSON instead of rewriting
-//!   it; exit nonzero if any kernel regressed more than 2x (the CI gate).
+//!   it; exit nonzero if any kernel regressed more than 2x, or if engine
+//!   throughput fell below half the committed instructions/sec (the CI
+//!   gate).
 //! * `--out PATH` — write somewhere other than `BENCH_pipeline.json`.
 
 use std::process::ExitCode;
@@ -50,6 +55,17 @@ fn time_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
             ms
         })
         .fold(f64::MAX, f64::min)
+}
+
+/// The committed `sim_paper16_gcc_ms` for `scale_key`, if `path` holds one.
+fn committed_sim_ms(path: &str, scale_key: &str) -> Option<f64> {
+    let doc: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(path).ok()?).ok()?;
+    let ms = doc
+        .get("scales")?
+        .get(scale_key)?
+        .get("kernels")?
+        .get("sim_paper16_gcc_ms")?;
+    <f64 as serde::Deserialize>::from_value(ms).ok()
 }
 
 fn main() -> ExitCode {
@@ -119,11 +135,18 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
 
     let bench = specmt_bench::Bench::from_workload(workloads::gcc(scale))?;
     let table = bench.profile_table(&ProfileConfig::default()).table;
-    let sim = time_ms(runs, || {
+    // The headline kernel gets extra samples: the minimum converges to the
+    // true cost with sample count, and this is the number the throughput
+    // gate and the perf tables are built on.
+    let sim = time_ms(5 * runs, || {
         bench
             .run(SimConfig::paper(16), &table)
             .expect("simulation")
     });
+    // Engine throughput: dynamic instructions the paper-configuration
+    // simulation retires per wall-clock second.
+    let sim_insts = bench.trace().len() as u64;
+    let sim_ips = sim_insts as f64 / (sim / 1e3);
 
     // Suite load, cold vs warm, in a private cache dir.
     let dir = std::env::temp_dir().join(format!("specmt-benchbin-cache-{}", std::process::id()));
@@ -151,11 +174,19 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     ];
     let reach_speedup = reach_naive / reach_word;
     let warm_speedup = load_cold / load_warm;
+    // Engine speed-up vs the previously committed section (1.0 when there
+    // is nothing to compare against) — regenerating after an engine change
+    // records the before/after ratio, like `reach_speedup` does for the
+    // reach rewrite.
+    let prev_sim_ms = committed_sim_ms(&out_path, &scale_key);
+    let sim_speedup = prev_sim_ms.map_or(1.0, |p| p / sim);
     for (name, ms) in &kernels {
         println!("{name:<26} {ms:>10.3} ms");
     }
+    println!("sim_instructions_per_sec   {:>10.0} /s ({sim_insts} dyn insts)", sim_ips);
     println!("reach_speedup              {reach_speedup:>10.2} x (naive / word-parallel)");
     println!("warm_cache_speedup         {warm_speedup:>10.2} x (cold / warm suite load)");
+    println!("sim_speedup                {sim_speedup:>10.2} x (vs committed sim_paper16_gcc_ms)");
 
     // --- Compare or persist --------------------------------------------
     let committed: Option<serde_json::Value> = std::fs::read_to_string(&out_path)
@@ -163,25 +194,37 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         .and_then(|s| serde_json::from_str(&s).ok());
 
     if check {
-        let Some(prev) = committed
+        let Some(section) = committed
             .as_ref()
             .and_then(|v| v.get("scales"))
             .and_then(|v| v.get(&scale_key))
-            .and_then(|v| v.get("kernels"))
         else {
             println!("no committed numbers for `{scale_key}` in {out_path}; check passes vacuously");
             return Ok(ExitCode::SUCCESS);
         };
         let mut regressed = false;
-        for (name, ms) in &kernels {
-            let Some(old) = prev
-                .get(name)
-                .and_then(|v| <f64 as serde::Deserialize>::from_value(v).ok())
-            else {
-                continue;
-            };
-            if *ms > 2.0 * old {
-                eprintln!("REGRESSION: {name} {old:.3} ms -> {ms:.3} ms (>2x)");
+        if let Some(prev) = section.get("kernels") {
+            for (name, ms) in &kernels {
+                let Some(old) = prev.get(name).and_then(|v| <f64 as serde::Deserialize>::from_value(v).ok()) else {
+                    continue;
+                };
+                if *ms > 2.0 * old {
+                    eprintln!("REGRESSION: {name} {old:.3} ms -> {ms:.3} ms (>2x)");
+                    regressed = true;
+                }
+            }
+        }
+        // Engine throughput gates like the latency kernels do: dropping
+        // below half the committed instructions/sec fails the check.
+        if let Some(old) = section
+            .get("throughput")
+            .and_then(|t| t.get("sim_instructions_per_sec"))
+            .and_then(|v| <f64 as serde::Deserialize>::from_value(v).ok())
+        {
+            if sim_ips < 0.5 * old {
+                eprintln!(
+                    "REGRESSION: sim_instructions_per_sec {old:.0} /s -> {sim_ips:.0} /s (<0.5x)"
+                );
                 regressed = true;
             }
         }
@@ -197,9 +240,14 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         serde_json::Value::Object(kernels.iter().map(|(k, v)| ((*k).to_string(), json!(v))).collect());
     let section = json!({
         "kernels": kernels_json,
+        "throughput": {
+            "sim_instructions_per_sec": sim_ips,
+            "sim_dynamic_instructions": sim_insts,
+        },
         "derived": {
             "reach_speedup": reach_speedup,
             "warm_cache_speedup": warm_speedup,
+            "sim_speedup": sim_speedup,
         },
     });
     let mut scales: Vec<(String, serde_json::Value)> = match committed.as_ref().and_then(|v| v.get("scales")) {

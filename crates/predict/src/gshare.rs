@@ -62,6 +62,23 @@ impl Gshare {
         self.counters[self.index(pc)] >= 2
     }
 
+    /// Fused [`predict`](Gshare::predict) + [`update`](Gshare::update):
+    /// returns the pre-update prediction while computing the table index
+    /// only once. Equivalent to calling the two in sequence.
+    pub fn predict_update(&mut self, pc: Pc, taken: bool) -> bool {
+        let idx = self.index(pc);
+        let c = self.counters[idx];
+        let pred = c >= 2;
+        // Saturating 2-bit update without branching on `taken`: the branch
+        // outcome is the one bit the host predictor cannot learn, so a
+        // data-dependent compare chain beats an if/else here.
+        let inc = u8::from(taken & (c < 3));
+        let dec = u8::from(!taken & (c > 0));
+        self.counters[idx] = c + inc - dec;
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1 << self.bits) - 1);
+        pred
+    }
+
     /// Trains on the resolved outcome and shifts it into the history.
     pub fn update(&mut self, pc: Pc, taken: bool) {
         let idx = self.index(pc);
@@ -123,6 +140,26 @@ mod tests {
             taken = !taken;
         }
         assert!(correct >= 95, "only {correct}/100 correct");
+    }
+
+    /// `predict_update` is exactly `predict` followed by `update`.
+    #[test]
+    fn predict_update_matches_split_calls() {
+        let mut fused = Gshare::paper();
+        let mut split = Gshare::paper();
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..500 {
+            // xorshift: deterministic pseudo-random pcs and outcomes
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pc = Pc((x % 997) as u32);
+            let taken = x & 1 == 0;
+            let a = fused.predict_update(pc, taken);
+            let b = split.predict(pc);
+            split.update(pc, taken);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

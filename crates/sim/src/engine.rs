@@ -24,42 +24,96 @@
 //!   stalls.
 //! * Spawns the hardware would discover to be doomed (their CQIP never
 //!   recurs) occupy a thread unit until their spawner commits, then squash.
-
-use std::collections::{BTreeMap, HashMap};
+//!
+//! # Layout
+//!
+//! The hot state lives in flat arenas / structure-of-arrays with dense
+//! index handles (DESIGN.md §13): per-pair runtime counters in a
+//! [`PairArena`] addressed by `PairId` (interned once, in sorted key
+//! order), spawn candidates and CQIP occurrences in CSR offset+value
+//! tables, per-thread-unit issue ports and functional units in flat
+//! columns, and per-static-instruction facts predecoded into a [`PreInst`]
+//! table so the cycle loop never interrogates the `Inst` enum.
 
 use specmt_isa::{FuClass, Pc};
 use specmt_obs::{Event, EventSink, FaultKind, MetricsRegistry, SquashReason};
 use specmt_predict::{Gshare, PredKey, ValuePredictor, ValuePredictorKind};
 use specmt_spawn::SpawnTable;
 use specmt_trace::{DepGraph, Trace, NO_PRODUCER};
+use std::sync::Arc;
 
 use crate::cache::min_index;
 use crate::faults::FaultInjector;
 use crate::{L1Cache, SimConfig, SimError, SimResult};
 
-/// Per-thread-unit persistent hardware state.
-#[derive(Debug)]
-struct ThreadUnit {
-    gshare: Gshare,
-    cache: L1Cache,
-    /// Next-free cycle per issue port.
-    ports: Vec<u64>,
-    /// Next-free cycle per functional unit, grouped by class.
-    fu_free: Vec<Vec<u64>>,
-    busy: bool,
-    free_at: u64,
+/// Dense handle into the [`PairArena`] columns.
+type PairId = u32;
+
+/// Per-static-instruction facts, predecoded once so the per-dynamic-
+/// instruction loop reads one flat table entry instead of interrogating
+/// the `Inst` enum (`dst`/`srcs`/`fu_class`/`is_*` calls per instruction).
+#[derive(Debug, Clone, Copy)]
+struct PreInst {
+    flags: u8,
+    /// Source register index per operand slot (`NO_SRC` = absent or the
+    /// hardwired zero register, which never has a producer).
+    src: [u8; 2],
+    /// Functional-unit class index (into the `fu_*` layout tables).
+    class: u8,
+    /// Result latency of that class.
+    latency: u8,
 }
 
-impl ThreadUnit {
-    fn new(cfg: &SimConfig) -> ThreadUnit {
-        ThreadUnit {
-            gshare: Gshare::new(cfg.gshare_bits),
-            cache: L1Cache::new(cfg.cache),
-            ports: vec![0; cfg.issue_width],
-            fu_free: FuClass::ALL.iter().map(|c| vec![0; c.units()]).collect(),
-            busy: false,
-            free_at: 0,
+const F_WRITES_REG: u8 = 1;
+const F_LOAD: u8 = 1 << 1;
+const F_STORE: u8 = 1 << 2;
+const F_COND_BRANCH: u8 = 1 << 3;
+/// Control flow that is not a conditional branch (jump/call/ret).
+const F_CONTROL: u8 = 1 << 4;
+/// The pc is a spawning point *and* the config has units to spawn into.
+const F_SPAWN: u8 = 1 << 5;
+const NO_SRC: u8 = u8::MAX;
+
+/// SoA arena of per-pair dynamic state, indexed by [`PairId`].
+///
+/// Ids are interned once at engine construction in sorted `(sp, cqip)`
+/// order — exactly the iteration order of the `BTreeMap<(u32, u32),
+/// PairRuntime>` this replaces — so every scan over the arena (the
+/// minimum-size removal pick in particular) keeps its deterministic visit
+/// order by construction.
+#[derive(Debug, Default)]
+struct PairArena {
+    /// Sorted, deduplicated `(sp, cqip)` keys: the interning table.
+    keys: Vec<(u32, u32)>,
+    removed: Vec<bool>,
+    /// Cycle of the most recent removal (for reinstatement).
+    removed_at: Vec<u64>,
+    alone_count: Vec<u32>,
+    size_samples: Vec<u32>,
+    size_sum: Vec<u64>,
+    /// Samples that were squashed spawns (size zero).
+    size_zeros: Vec<u32>,
+}
+
+impl PairArena {
+    fn new(table: &SpawnTable) -> PairArena {
+        let mut keys: Vec<(u32, u32)> = table.iter().map(|p| (p.sp.0, p.cqip.0)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let n = keys.len();
+        PairArena {
+            keys,
+            removed: vec![false; n],
+            removed_at: vec![0; n],
+            alone_count: vec![0; n],
+            size_samples: vec![0; n],
+            size_sum: vec![0; n],
+            size_zeros: vec![0; n],
         }
+    }
+
+    fn id_of(&self, key: (u32, u32)) -> Option<PairId> {
+        self.keys.binary_search(&key).ok().map(|i| i as PairId)
     }
 }
 
@@ -71,10 +125,11 @@ struct DoomedChild {
     id: u64,
     tu: usize,
     spawn_time: u64,
-    cqip_pc: u32,
+    /// Dense CQIP index of the pair's CQIP (for the busy-count column).
+    cd: u32,
     /// The pair that created it, charged with a zero-size thread by the
     /// minimum-size policy.
-    pair: (u32, u32),
+    pair: PairId,
     /// Whether the fault injector, not control misspeculation, doomed it.
     fault: bool,
 }
@@ -86,9 +141,6 @@ struct PendingThread {
     id: u64,
     /// First dynamic instruction of the window.
     start: usize,
-    /// Static pc of that first instruction (cached so spawn conflict checks
-    /// need no trace lookup).
-    start_pc: u32,
     /// Cycle the spawn fired.
     spawn_time: u64,
     /// Cycle the thread may fetch its first instruction
@@ -96,20 +148,11 @@ struct PendingThread {
     init_done: u64,
     /// Assigned thread unit.
     tu: usize,
-    /// The `(sp, cqip)` pair that spawned it (`None` for the root).
-    pair: Option<(u32, u32)>,
-}
-
-#[derive(Debug, Default)]
-struct PairRuntime {
-    removed: bool,
-    /// Cycle of the most recent removal (for reinstatement).
-    removed_at: u64,
-    alone_count: u32,
-    size_samples: u32,
-    size_sum: u64,
-    /// Samples that were squashed spawns (size zero).
-    size_zeros: u32,
+    /// The pair that spawned it (`None` for the root).
+    pair: Option<PairId>,
+    /// Dense CQIP index of the window's starting CQIP (`u32::MAX` for the
+    /// root, whose start is not a spawned CQIP and never blocks one).
+    cd: u32,
 }
 
 /// Committed threads observed per pair before the minimum-size policy
@@ -117,6 +160,10 @@ struct PairRuntime {
 /// individual threads short (paper Figure 7a), so single observations would
 /// remove every pair.
 const MIN_SIZE_SAMPLES: u32 = 8;
+
+/// Number of functional-unit classes (the `fu_*` layout tables are fixed
+/// arrays of this size).
+const NUM_FU_CLASSES: usize = FuClass::ALL.len();
 
 /// The trace-driven Clustered Speculative Multithreaded Processor model.
 ///
@@ -126,7 +173,7 @@ const MIN_SIZE_SAMPLES: u32 = 8;
 #[derive(Debug)]
 pub struct Simulator<'a> {
     trace: &'a Trace,
-    deps: DepGraph,
+    deps: Arc<DepGraph>,
     config: SimConfig,
     table: SpawnTable,
 }
@@ -141,9 +188,28 @@ impl<'a> Simulator<'a> {
     /// A simulator driven by the given spawn table (cloned: tables are
     /// small relative to traces).
     pub fn with_table(trace: &'a Trace, config: SimConfig, table: &SpawnTable) -> Simulator<'a> {
+        Simulator::with_deps(trace, Arc::new(DepGraph::build(trace)), config, table)
+    }
+
+    /// As [`Simulator::with_table`], reusing a prebuilt dependence graph.
+    ///
+    /// The graph is a pure function of the trace, so callers running many
+    /// configurations or tables over one trace (parameter sweeps, the
+    /// figure builders) build it once and share it instead of paying the
+    /// full-trace analysis on every run.
+    ///
+    /// The graph MUST have been built from `trace`; a mismatched graph
+    /// makes the run meaningless (producer indices point at the wrong
+    /// instructions) and will typically fail the engine's post-run audit.
+    pub fn with_deps(
+        trace: &'a Trace,
+        deps: Arc<DepGraph>,
+        config: SimConfig,
+        table: &SpawnTable,
+    ) -> Simulator<'a> {
         Simulator {
             trace,
-            deps: DepGraph::build(trace),
+            deps,
             config,
             table: table.clone(),
         }
@@ -189,33 +255,98 @@ impl<'a> Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    fn into_parts(self) -> (&'a Trace, DepGraph, SimConfig, SpawnTable) {
+    fn into_parts(self) -> (&'a Trace, Arc<DepGraph>, SimConfig, SpawnTable) {
         (self.trace, self.deps, self.config, self.table)
     }
 }
 
 struct Engine<'a, 's> {
     trace: &'a Trace,
-    deps: DepGraph,
+    deps: Arc<DepGraph>,
     cfg: SimConfig,
-    table: SpawnTable,
+    /// Predecoded per-static-pc instruction facts.
+    pre: Vec<PreInst>,
+    /// Spawn-candidate CSR: candidates of static pc `p` occupy
+    /// `cand_pair[cand_offsets[p]..cand_offsets[p + 1]]`, in the spawn
+    /// table's rank order (score-descending, the pick order).
+    cand_offsets: Vec<u32>,
+    /// Interned pair id per candidate.
+    cand_pair: Vec<PairId>,
+    /// Dense CQIP index (into the occurrence CSR) per candidate.
+    cand_cqip: Vec<u32>,
+    /// Per-pair dynamic state, indexed by `PairId`.
+    pairs: PairArena,
+    /// CQIP occurrence CSR: the dynamic indices where dense CQIP `c`
+    /// occurs are `occ_values[occ_offsets[c]..occ_offsets[c + 1]]`,
+    /// ascending (built in one trace pass at construction).
+    occ_offsets: Vec<u32>,
+    occ_values: Vec<u32>,
+    /// Per-CQIP cursor into `occ_values`: the first occurrence not yet
+    /// known to be at or before the current spawn point. Spawn attempts
+    /// arrive at globally non-decreasing dynamic indices (windows are
+    /// processed in program order), so each cursor only ever advances —
+    /// the whole run's next-occurrence searches cost one amortised pass.
+    occ_cursor: Vec<u32>,
+    /// Active (chained or doomed-this-window) thread count per dense CQIP,
+    /// replacing a chain scan on every spawn attempt.
+    cqip_active: Vec<u32>,
     /// Completion time of every dynamic instruction processed so far.
-    complete: Vec<u64>,
-    tus: Vec<ThreadUnit>,
+    ///
+    /// Stored as `u32`: this is the hottest randomly-indexed table
+    /// (producer lookups jump arbitrarily far back), so halving it doubles
+    /// the fraction that stays cache-resident. Completion times are far
+    /// below 2^32 for any trace the step budget admits (a debug assertion
+    /// guards the narrowing).
+    complete: Vec<u32>,
+    // --- Hot per-thread-unit columns, scanned every cycle ---------------
+    tu_busy: Vec<bool>,
+    tu_free_at: Vec<u64>,
+    /// Bitmask of non-busy units (bit `i` ⟺ `!tu_busy[i]`), valid only
+    /// when the machine has at most 64 units: free-unit searches iterate
+    /// set bits instead of scanning every unit. Kept in sync with
+    /// `tu_busy` by `tu_claim`/`tu_release`.
+    tu_free_mask: u64,
+    /// Number of non-busy units, and the minimum `tu_free_at` over them
+    /// (`u64::MAX` when none): a spawn attempt that cannot possibly find a
+    /// unit declines on two compares without leaving the cycle loop.
+    tu_free_count: usize,
+    tu_min_free: u64,
+    /// Whether that two-compare decline is exact: fault injection draws
+    /// RNG per attempt and pair reinstatement can mutate state on any
+    /// attempt, so either disables the shortcut.
+    fast_decline: bool,
+    /// Next-free cycle per issue port: unit `u`'s ports are
+    /// `ports[u * issue_width..][..issue_width]`.
+    ports: Vec<u64>,
+    /// Next-free cycle per functional unit: unit `u`'s class-`c` FUs are
+    /// `fu_free[u * fu_total + fu_offset[c]..][..fu_count[c]]`.
+    fu_free: Vec<u64>,
+    fu_offset: [usize; NUM_FU_CLASSES],
+    fu_count: [usize; NUM_FU_CLASSES],
+    /// Occupancy increment per issue: 1 for pipelined classes, the full
+    /// latency for non-pipelined ones.
+    fu_incr: [u64; NUM_FU_CLASSES],
+    fu_total: usize,
+    // --- Cold per-thread-unit state (touched per branch / memory op) ----
+    gshares: Vec<Gshare>,
+    caches: Vec<L1Cache>,
     predictor: Option<Box<dyn ValuePredictor>>,
-    /// Dynamic occurrence indices per CQIP pc.
-    cqip_occurrences: HashMap<u32, Vec<u32>>,
-    /// Whether a pc is a spawning point.
-    is_sp: Vec<bool>,
-    /// Per-pair dynamic state, keyed by `(sp, cqip)`. A `BTreeMap` so every
-    /// scan over it (the minimum-size removal pick in particular) visits
-    /// pairs in a deterministic order — with a `HashMap`, ties in that pick
-    /// were broken by randomized iteration order, making whole-run results
-    /// differ between executions.
-    pair_rt: BTreeMap<(u32, u32), PairRuntime>,
     /// Active speculative threads in program order (excluding the one being
     /// processed).
-    chain: Vec<PendingThread>,
+    chain: std::collections::VecDeque<PendingThread>,
+    // --- Reusable scratch (hoisted out of the cycle loop) ---------------
+    /// ROB commit ring; entries are only read at positions already written
+    /// this window (`local_i >= rob`), so it is never re-zeroed.
+    rob_ring: Vec<u64>,
+    /// Rename-register commit ring; same never-re-zeroed argument.
+    writer_ring: Vec<u64>,
+    /// Doomed children of the window being processed.
+    doomed: Vec<DoomedChild>,
+    /// Successor spawn times, collected per retire by the removal policy.
+    succ_spawns: Vec<u64>,
+    /// Buffered store-touch addresses, flushed to the unit's cache as a
+    /// run before the next load and at window end.
+    touch_run: Vec<u64>,
     faults: Option<FaultInjector>,
     result: SimResult,
     /// External event consumer (from [`Simulator::run_with_sink`]).
@@ -232,58 +363,251 @@ struct Engine<'a, 's> {
 impl<'a, 's> Engine<'a, 's> {
     fn new(sim: Simulator<'a>, sink: Option<&'s mut dyn EventSink>) -> Engine<'a, 's> {
         let (trace, deps, cfg, table) = sim.into_parts();
-        let program_len = trace.program().len();
-        let mut is_sp = vec![false; program_len];
-        let mut cqip_pcs: Vec<u32> = Vec::new();
-        for p in table.iter() {
-            is_sp[p.sp.index()] = true;
-            cqip_pcs.push(p.cqip.0);
-        }
-        cqip_pcs.sort_unstable();
-        cqip_pcs.dedup();
-        let mut cqip_occurrences: HashMap<u32, Vec<u32>> =
-            cqip_pcs.iter().map(|&pc| (pc, Vec::new())).collect();
-        if !cqip_pcs.is_empty() {
-            for (k, &pc) in trace.pcs().iter().enumerate() {
-                if let Some(list) = cqip_occurrences.get_mut(&pc) {
-                    list.push(k as u32);
+        let program = trace.program();
+        let program_len = program.len();
+
+        // Predecode every static instruction.
+        let mut pre: Vec<PreInst> = Vec::with_capacity(program_len);
+        for inst in program.insts() {
+            let mut flags = 0u8;
+            if inst.dst().is_some_and(|d| !d.is_zero()) {
+                flags |= F_WRITES_REG;
+            }
+            if inst.is_load() {
+                flags |= F_LOAD;
+            }
+            if inst.is_store() {
+                flags |= F_STORE;
+            }
+            if inst.is_cond_branch() {
+                flags |= F_COND_BRANCH;
+            } else if inst.is_control() {
+                flags |= F_CONTROL;
+            }
+            let mut src = [NO_SRC; 2];
+            for (s, r) in inst.srcs().into_iter().enumerate() {
+                if let Some(r) = r {
+                    if !r.is_zero() {
+                        src[s] = r.index() as u8;
+                    }
                 }
             }
+            let class = inst.fu_class();
+            pre.push(PreInst {
+                flags,
+                src,
+                class: class.index() as u8,
+                latency: class.latency() as u8,
+            });
         }
+
+        // Intern the pairs and flatten the per-pc candidate lists into a
+        // CSR, resolving each candidate's pair id and dense CQIP index once.
+        let pairs = PairArena::new(&table);
+        let mut cqip_pcs: Vec<u32> = table.iter().map(|p| p.cqip.0).collect();
+        cqip_pcs.sort_unstable();
+        cqip_pcs.dedup();
+        let spawn_enabled = cfg.thread_units > 1;
+        let mut cand_offsets = vec![0u32; program_len + 1];
+        let mut cand_pair: Vec<PairId> = Vec::new();
+        let mut cand_cqip: Vec<u32> = Vec::new();
+        for pc in 0..program_len {
+            for cand in table.candidates(Pc(pc as u32)) {
+                // Both lookups succeed by construction (the arena and the
+                // dense CQIP table were built from this same table).
+                let (Some(pid), Ok(cd)) = (
+                    pairs.id_of((cand.sp.0, cand.cqip.0)),
+                    cqip_pcs.binary_search(&cand.cqip.0),
+                ) else {
+                    continue;
+                };
+                cand_pair.push(pid);
+                cand_cqip.push(cd as u32);
+            }
+            cand_offsets[pc + 1] = cand_pair.len() as u32;
+            if spawn_enabled && cand_offsets[pc + 1] > cand_offsets[pc] {
+                pre[pc].flags |= F_SPAWN;
+            }
+        }
+
+        // CQIP occurrence CSR: one scan of the trace collects the (dense
+        // CQIP, dynamic index) hits into a compact list — typically a small
+        // fraction of the trace — and a counting sort over that list builds
+        // the offsets and per-CQIP ascending values.
+        let mut occ_offsets = vec![0u32; cqip_pcs.len() + 1];
+        let mut occ_values: Vec<u32> = Vec::new();
+        if !cqip_pcs.is_empty() {
+            let mut dense = vec![u32::MAX; program_len];
+            for (i, &pc) in cqip_pcs.iter().enumerate() {
+                // A table may name a CQIP pc beyond the program; it simply
+                // never occurs, so its occurrence range stays empty.
+                if let Some(d) = dense.get_mut(pc as usize) {
+                    *d = i as u32;
+                }
+            }
+            let mut hits: Vec<(u32, u32)> = Vec::new();
+            for (k, &pc) in trace.pcs().iter().enumerate() {
+                let d = dense[pc as usize];
+                if d != u32::MAX {
+                    hits.push((d, k as u32));
+                }
+            }
+            for &(d, _) in &hits {
+                occ_offsets[d as usize + 1] += 1;
+            }
+            for i in 1..occ_offsets.len() {
+                occ_offsets[i] += occ_offsets[i - 1];
+            }
+            occ_values = vec![0u32; hits.len()];
+            let mut cursor = occ_offsets.clone();
+            for &(d, k) in &hits {
+                occ_values[cursor[d as usize] as usize] = k;
+                cursor[d as usize] += 1;
+            }
+        }
+
+        // Functional-unit layout: identical for every thread unit.
+        let mut fu_offset = [0usize; NUM_FU_CLASSES];
+        let mut fu_count = [0usize; NUM_FU_CLASSES];
+        let mut fu_incr = [0u64; NUM_FU_CLASSES];
+        let mut fu_total = 0usize;
+        for c in FuClass::ALL {
+            let i = c.index();
+            fu_offset[i] = fu_total;
+            fu_count[i] = c.units();
+            fu_incr[i] = if c.pipelined() { 1 } else { c.latency() };
+            fu_total += c.units();
+        }
+
+        let n_tus = cfg.thread_units;
+        // Proven bounds for the compact cache tag store: each dynamic
+        // instruction makes at most one access or touch on one unit.
+        let max_block = deps.max_addr() / cfg.cache.block_bytes.max(1) as u64;
+        let max_accesses = trace.len() as u64 + 1;
         let predictor = cfg.value_predictor.build(cfg.predictor_budget);
-        let tus = (0..cfg.thread_units)
-            .map(|_| ThreadUnit::new(&cfg))
-            .collect();
         let faults = cfg
             .faults
             .filter(|p| p.is_active())
             .map(FaultInjector::new);
         let metrics = cfg.observe.then(MetricsRegistry::new);
         let observing = sink.is_some() || metrics.is_some();
+        let rob_ring = vec![0u64; cfg.rob_entries];
+        let writer_ring = vec![0u64; cfg.phys_regs.saturating_sub(specmt_isa::NUM_REGS)];
         Engine {
-            trace,
-            deps,
-            cfg,
-            table,
             complete: vec![0; trace.len()],
-            tus,
+            pre,
+            cand_offsets,
+            cand_pair,
+            cand_cqip,
+            pairs,
+            occ_cursor: occ_offsets[..occ_offsets.len() - 1].to_vec(),
+            cqip_active: vec![0; occ_offsets.len() - 1],
+            occ_offsets,
+            occ_values,
+            tu_busy: vec![false; n_tus],
+            tu_free_at: vec![0; n_tus],
+            tu_free_mask: if n_tus >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << n_tus) - 1
+            },
+            tu_free_count: n_tus,
+            tu_min_free: 0,
+            fast_decline: faults.is_none()
+                && cfg.removal.and_then(|p| p.reinstate_after).is_none(),
+            ports: vec![0; n_tus * cfg.issue_width],
+            fu_free: vec![0; n_tus * fu_total],
+            fu_offset,
+            fu_count,
+            fu_incr,
+            fu_total,
+            gshares: (0..n_tus).map(|_| Gshare::new(cfg.gshare_bits)).collect(),
+            caches: (0..n_tus)
+                .map(|_| L1Cache::new_bounded(cfg.cache, max_block, max_accesses))
+                .collect(),
             predictor,
-            cqip_occurrences,
-            is_sp,
-            pair_rt: BTreeMap::new(),
-            chain: Vec::new(),
+            chain: std::collections::VecDeque::new(),
+            rob_ring,
+            writer_ring,
+            doomed: Vec::new(),
+            succ_spawns: Vec::new(),
+            touch_run: Vec::new(),
             faults,
             result: SimResult::default(),
             sink,
             metrics,
             observing,
             next_thread_id: 1,
+            trace,
+            deps,
+            cfg,
+        }
+    }
+
+    /// Marks a unit free at `free_at`, folding it into the free-unit
+    /// summary used by the spawn fast-decline check.
+    #[inline]
+    fn tu_release(&mut self, tu: usize, free_at: u64) {
+        self.tu_busy[tu] = false;
+        if tu < 64 {
+            self.tu_free_mask |= 1 << tu;
+        }
+        self.tu_free_at[tu] = free_at;
+        self.tu_free_count += 1;
+        self.tu_min_free = self.tu_min_free.min(free_at);
+    }
+
+    /// Marks a unit busy and repairs the free-unit summary (a rescan only
+    /// when the claimed unit may have carried the minimum).
+    #[inline]
+    fn tu_claim(&mut self, tu: usize) {
+        self.tu_busy[tu] = true;
+        if tu < 64 {
+            self.tu_free_mask &= !(1 << tu);
+        }
+        self.tu_free_count -= 1;
+        if self.tu_free_at[tu] <= self.tu_min_free {
+            let mut m = u64::MAX;
+            if self.tu_busy.len() <= 64 {
+                let mut bits = self.tu_free_mask;
+                while bits != 0 {
+                    m = m.min(self.tu_free_at[bits.trailing_zeros() as usize]);
+                    bits &= bits - 1;
+                }
+            } else {
+                for i in 0..self.tu_busy.len() {
+                    if !self.tu_busy[i] {
+                        m = m.min(self.tu_free_at[i]);
+                    }
+                }
+            }
+            self.tu_min_free = m;
+        }
+    }
+
+    /// Lowest-numbered unit that is free no later than cycle `f`, exactly
+    /// the unit a linear scan of `tu_busy`/`tu_free_at` would pick.
+    #[inline]
+    fn tu_find_free(&self, f: u64) -> Option<usize> {
+        if self.tu_busy.len() <= 64 {
+            let mut bits = self.tu_free_mask;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                if self.tu_free_at[i] <= f {
+                    return Some(i);
+                }
+                bits &= bits - 1;
+            }
+            None
+        } else {
+            (0..self.tu_busy.len()).find(|&i| !self.tu_busy[i] && self.tu_free_at[i] <= f)
         }
     }
 
     /// Fan one event out to the metrics registry and the external sink.
     /// Callers gate on `self.observing` so the disabled path never
     /// constructs the event.
+    #[inline(never)]
     fn emit(&mut self, event: Event) {
         if let Some(m) = self.metrics.as_mut() {
             m.record(&event);
@@ -306,7 +630,7 @@ impl<'a, 's> Engine<'a, 's> {
             self.finish_metrics();
             return Ok(self.result);
         }
-        self.tus[0].busy = true;
+        self.tu_claim(0);
         if self.observing {
             self.emit(Event::ThreadSpawned {
                 thread: 0,
@@ -318,11 +642,11 @@ impl<'a, 's> Engine<'a, 's> {
         let mut next = Some(PendingThread {
             id: 0,
             start: 0,
-            start_pc: self.trace.pcs().first().copied().unwrap_or(0),
             spawn_time: 0,
             init_done: 0,
             tu: 0,
             pair: None,
+            cd: u32::MAX,
         });
         let mut prev_commit = 0u64;
         let mut processed_end = 0usize;
@@ -334,7 +658,8 @@ impl<'a, 's> Engine<'a, 's> {
                     t.start
                 )));
             }
-            let (end, exec_done, doomed) = self.process_window(&t)?;
+            let (end, exec_done) = self.process_window(&t);
+            let doomed = std::mem::take(&mut self.doomed);
             processed_end = end;
             let pred_commit = prev_commit;
             let commit_time = exec_done.max(prev_commit);
@@ -344,11 +669,10 @@ impl<'a, 's> Engine<'a, 's> {
             // child's order violation is discovered when its spawner
             // *joins* (reaches the start of a different thread), so its
             // unit frees at the spawner's execution end, not its commit.
-            self.tus[t.tu].busy = false;
-            self.tus[t.tu].free_at = commit_time;
+            self.tu_release(t.tu, commit_time);
             for d in &doomed {
-                self.tus[d.tu].busy = false;
-                self.tus[d.tu].free_at = exec_done.max(d.spawn_time);
+                self.tu_release(d.tu, exec_done.max(d.spawn_time));
+                self.cqip_active[d.cd as usize] -= 1;
                 self.result.threads_squashed += 1;
             }
             if self.observing {
@@ -384,15 +708,20 @@ impl<'a, 's> Engine<'a, 's> {
             }
 
             self.apply_dynamic_policies(&t, &doomed, exec_done, window_len, pred_commit);
+            // Hand the (cleared-on-entry) buffer back for the next window.
+            self.doomed = doomed;
 
-            if !self.chain.is_empty() {
-                next = Some(self.chain.remove(0));
+            if let Some(head) = self.chain.pop_front() {
+                // The thread now being processed no longer blocks spawns
+                // at its CQIP (matching the old chain-membership check).
+                self.cqip_active[head.cd as usize] -= 1;
+                next = Some(head);
             }
         }
 
         self.audit(n, processed_end)?;
-        for tu in &self.tus {
-            let (h, m) = tu.cache.stats();
+        for cache in &self.caches {
+            let (h, m) = cache.stats();
             self.result.cache_hits += h;
             self.result.cache_misses += m;
         }
@@ -424,7 +753,7 @@ impl<'a, 's> Engine<'a, 's> {
                 ),
             });
         }
-        if let Some(unit) = self.tus.iter().position(|tu| tu.busy) {
+        if let Some(unit) = self.tu_busy.iter().position(|&b| b) {
             return Err(SimError::ThreadUnitLeak { unit });
         }
         // Every successful spawn either committed or squashed; the root
@@ -450,62 +779,83 @@ impl<'a, 's> Engine<'a, 's> {
         Ok(())
     }
 
-    /// Processes one thread's window; returns `(end, exec_done, doomed
-    /// children)`.
-    fn process_window(
-        &mut self,
-        t: &PendingThread,
-    ) -> Result<(usize, u64, Vec<DoomedChild>), SimError> {
-        let n = self.trace.len();
+    /// Processes one thread's window; returns `(end, exec_done)` and leaves
+    /// the window's doomed children in `self.doomed`.
+    fn process_window(&mut self, t: &PendingThread) -> (usize, u64) {
+        let trace = self.trace;
+        let pcs = trace.pcs();
+        let n = pcs.len();
         let rob = self.cfg.rob_entries;
-        let mut rob_ring = vec![0u64; rob];
-        // Rename registers: a register-writing instruction needs a free
-        // physical register; one frees when the writer holding it commits.
-        let renames = self.cfg.phys_regs - specmt_isa::NUM_REGS;
-        let mut writer_ring = vec![0u64; renames];
+        let renames = self.writer_ring.len();
+        let issue_width = self.cfg.issue_width;
+        let fetch_width = self.cfg.fetch_width;
+        // Ring positions kept by increment-and-wrap: a runtime-value `%`
+        // per instruction is an integer division, the single most
+        // expensive scalar op in the loop.
+        let mut rob_i = 0usize;
+        let mut rob_full = false;
         let mut writer_i = 0usize;
-        let mut local_i = 0usize;
+        let mut writer_full = false;
         let mut last_commit = t.init_done;
         let mut fetch_cycle = t.init_done;
         let mut slots = 0u32;
-        let mut live_in_avail = [None::<u64>; specmt_isa::NUM_REGS];
-        let mut doomed: Vec<DoomedChild> = Vec::new();
+        // Live-in memo: value per register, validity in a bitmask so the
+        // per-window reset is one store instead of a table clear.
+        let mut live_in_avail = ([0u64; specmt_isa::NUM_REGS], 0u64);
+        // A perfectly predicted live-in of a spawned thread is available the
+        // moment the thread is initialised, unconditionally: the whole
+        // live-in path collapses to this per-window constant (no stats, no
+        // RNG, so skipping the call is exact).
+        let live_const = match (t.pair.is_some(), self.cfg.value_predictor) {
+            (true, ValuePredictorKind::Perfect) => Some(t.init_done),
+            _ => None,
+        };
+        self.doomed.clear();
+        self.touch_run.clear();
+
+        // Window-local copies of this unit's port and FU availability
+        // columns for the common geometry: nothing else touched inside the
+        // window (spawns, caches, predictors) reads them, and locals keep
+        // the per-instruction tournaments in registers instead of memory.
+        let pbase = t.tu * issue_width;
+        let fbase_tu = t.tu * self.fu_total;
+        let fast_units =
+            issue_width == 4 && self.fu_total <= 16 && self.fu_count.iter().all(|&c| c <= 2);
+        let mut ports4 = [0u64; 4];
+        let mut fu16 = [0u64; 16];
+        if fast_units {
+            ports4.copy_from_slice(&self.ports[pbase..pbase + 4]);
+            fu16[..self.fu_total]
+                .copy_from_slice(&self.fu_free[fbase_tu..fbase_tu + self.fu_total]);
+        }
 
         let mut k = t.start;
-        loop {
-            if let Some(front) = self.chain.first() {
-                if k == front.start {
-                    break;
-                }
-            }
-            if k >= n {
-                break;
-            }
-
-            let Some(rec) = self.trace.record(k) else {
-                return Err(SimError::broken(format!(
-                    "dynamic index {k} escaped a trace of length {n}"
-                )));
-            };
-            let inst = *self.trace.inst(k);
+        // The window ends at the next more-speculative thread's start (or
+        // the trace end); only a spawn can move it, so it is re-read after
+        // spawn attempts instead of dereferencing the chain per
+        // instruction.
+        let mut end = self.chain.front().map_or(n, |c| c.start);
+        while k < end {
+            let pc = pcs[k];
+            let pi = self.pre[pc as usize];
 
             // --- Fetch ---------------------------------------------------
-            if local_i >= rob {
-                let oldest = rob_ring[local_i % rob];
-                if oldest > fetch_cycle {
-                    fetch_cycle = oldest;
-                    slots = 0;
-                }
+            // Stall checks select with cmov: whether the structural hazard
+            // bites is data-dependent and defeats the branch predictor.
+            if rob_full {
+                let oldest = self.rob_ring[rob_i];
+                let stall = oldest > fetch_cycle;
+                fetch_cycle = if stall { oldest } else { fetch_cycle };
+                slots = if stall { 0 } else { slots };
             }
-            let writes_reg = inst.dst().is_some_and(|d| !d.is_zero());
-            if writes_reg && writer_i >= renames {
-                let oldest = writer_ring[writer_i % renames];
-                if oldest > fetch_cycle {
-                    fetch_cycle = oldest;
-                    slots = 0;
-                }
+            let writes_reg = pi.flags & F_WRITES_REG != 0;
+            if writes_reg && writer_full {
+                let oldest = self.writer_ring[writer_i];
+                let stall = oldest > fetch_cycle;
+                fetch_cycle = if stall { oldest } else { fetch_cycle };
+                slots = if stall { 0 } else { slots };
             }
-            if slots == self.cfg.fetch_width {
+            if slots == fetch_width {
                 fetch_cycle += 1;
                 slots = 0;
             }
@@ -513,54 +863,118 @@ impl<'a, 's> Engine<'a, 's> {
             slots += 1;
 
             // --- Spawn ---------------------------------------------------
-            if self.is_sp[rec.pc.index()] && self.cfg.thread_units > 1 {
-                if let Some(d) = self.try_spawn(t, k, rec.pc, f, &doomed) {
-                    doomed.push(d);
+            if pi.flags & F_SPAWN != 0 {
+                if self.fast_decline && (self.tu_free_count == 0 || f < self.tu_min_free) {
+                    // No unit can accept a thread at `f`: every candidate
+                    // path through the full attempt ends in this same
+                    // single decline with no other state change.
+                    self.result.spawns_declined += 1;
+                } else {
+                    if let Some(d) = self.try_spawn(t, k, pc, f) {
+                        self.doomed.push(d);
+                    }
+                    // A successful spawn may have chained a nearer
+                    // successor.
+                    end = self.chain.front().map_or(n, |c| c.start);
                 }
             }
 
             // --- Operand readiness --------------------------------------
             let mut ready = f + 1;
-            for (s, src) in inst.srcs().into_iter().enumerate() {
-                let Some(r) = src else { continue };
-                if r.is_zero() {
-                    continue;
+            let prods = self.deps.reg_producers(k);
+            if let Some(v) = live_const {
+                // Spawned thread under perfect prediction: every live-in is
+                // available at `init_done` unconditionally, so resolution
+                // collapses to selects on the producer index — no
+                // data-dependent branches. The producer index is clamped so
+                // the `complete` load is in-bounds even for `NO_PRODUCER`;
+                // the select then discards it.
+                let hi = self.complete.len() - 1;
+                for &p in &prods {
+                    let c = u64::from(self.complete[(p as usize).min(hi)]);
+                    let avail = if p == NO_PRODUCER {
+                        0
+                    } else if (p as usize) < t.start {
+                        v
+                    } else {
+                        c
+                    };
+                    ready = ready.max(avail);
                 }
-                let p = self.deps.reg_producer(k, s);
-                if p == NO_PRODUCER {
-                    continue;
+            } else {
+                for (&r, &p) in pi.src.iter().zip(&prods) {
+                    if r == NO_SRC || p == NO_PRODUCER {
+                        continue;
+                    }
+                    let p = p as usize;
+                    let avail = if p >= t.start {
+                        u64::from(self.complete[p])
+                    } else {
+                        self.live_in_time(t, r as usize, p, &mut live_in_avail)
+                    };
+                    ready = ready.max(avail);
                 }
-                let p = p as usize;
-                let avail = if p >= t.start {
-                    self.complete[p]
-                } else {
-                    self.live_in_time(t, r, p, &mut live_in_avail)
-                };
-                ready = ready.max(avail);
             }
 
             // --- Issue: a port, then a functional unit -------------------
-            let tu = &mut self.tus[t.tu];
-            let port = min_index(&tu.ports);
-            let t1 = ready.max(tu.ports[port]);
-            tu.ports[port] = t1 + 1;
-            let class = inst.fu_class();
-            let units = &mut tu.fu_free[class.index()];
-            let unit = min_index(units);
-            let t2 = t1.max(units[unit]);
-            units[unit] = t2
-                + if class.pipelined() {
-                    1
+            let class = pi.class as usize;
+            let off = self.fu_offset[class];
+            let cnt = self.fu_count[class];
+            let t2 = if fast_units {
+                // Tournament min for the 4-wide machine: three cmov
+                // selects instead of a scan, earliest index winning ties
+                // exactly like `min_index`.
+                let (i0, v0) = if ports4[1] < ports4[0] {
+                    (1, ports4[1])
                 } else {
-                    class.latency()
+                    (0, ports4[0])
                 };
-            let mut done = t2 + class.latency();
+                let (i1, v1) = if ports4[3] < ports4[2] {
+                    (3, ports4[3])
+                } else {
+                    (2, ports4[2])
+                };
+                let (port, pv) = if v1 < v0 { (i1, v1) } else { (i0, v0) };
+                let t1 = ready.max(pv);
+                ports4[port] = t1 + 1;
+                let units = &mut fu16[off..off + cnt];
+                // Every ISA class fields one or two units; pick with a
+                // single compare instead of a scan.
+                let unit = if cnt == 2 && units[1] < units[0] { 1 } else { 0 };
+                let t2 = t1.max(units[unit]);
+                units[unit] = t2 + self.fu_incr[class];
+                t2
+            } else {
+                let ports = &mut self.ports[pbase..pbase + issue_width];
+                let port = min_index(ports);
+                let t1 = ready.max(ports[port]);
+                ports[port] = t1 + 1;
+                let units = &mut self.fu_free[fbase_tu + off..fbase_tu + off + cnt];
+                let unit = if cnt == 2 && units[1] < units[0] {
+                    1
+                } else if cnt <= 2 {
+                    0
+                } else {
+                    min_index(units)
+                };
+                let t2 = t1.max(units[unit]);
+                units[unit] = t2 + self.fu_incr[class];
+                t2
+            };
+            let mut done = t2 + u64::from(pi.latency);
 
             // --- Memory --------------------------------------------------
-            if inst.is_load() {
-                let misses_before = if self.observing { tu.cache.stats().1 } else { 0 };
-                let mut data = tu.cache.access(rec.addr, done);
-                let cache_hit = !self.observing || tu.cache.stats().1 == misses_before;
+            if pi.flags & F_LOAD != 0 {
+                if !self.touch_run.is_empty() {
+                    self.caches[t.tu].touch_run(&mut self.touch_run);
+                }
+                let misses_before = if self.observing {
+                    self.caches[t.tu].stats().1
+                } else {
+                    0
+                };
+                let mut data = self.caches[t.tu].access(trace.addr_at(k), done);
+                let cache_hit = !self.observing || self.caches[t.tu].stats().1 == misses_before;
                 let jitter = self.faults.as_mut().map_or(0, |fi| fi.jitter());
                 if jitter > 0 {
                     self.result.fault_jitter_cycles += jitter;
@@ -579,14 +993,15 @@ impl<'a, 's> Engine<'a, 's> {
                     let mp = mp as usize;
                     if mp >= t.start {
                         // Same-thread store-to-load forwarding.
-                        data = data.max(self.complete[mp]);
-                    } else if self.complete[mp] > t2 {
+                        data = data.max(u64::from(self.complete[mp]));
+                    } else if u64::from(self.complete[mp]) > t2 {
                         // Violation: the producing store in an earlier
                         // thread executes after this load issued. Squash
                         // and restart here.
                         self.result.violations += 1;
-                        let restart =
-                            self.complete[mp] + self.cfg.forward_latency + self.cfg.squash_penalty;
+                        let restart = u64::from(self.complete[mp])
+                            + self.cfg.forward_latency
+                            + self.cfg.squash_penalty;
                         data = data.max(restart);
                         fetch_cycle = restart;
                         slots = 0;
@@ -599,7 +1014,7 @@ impl<'a, 's> Engine<'a, 's> {
                         }
                     } else {
                         // Cross-thread forward out of the versioning cache.
-                        data = data.max(self.complete[mp] + self.cfg.forward_latency);
+                        data = data.max(u64::from(self.complete[mp]) + self.cfg.forward_latency);
                     }
                 }
                 done = data;
@@ -611,59 +1026,78 @@ impl<'a, 's> Engine<'a, 's> {
                         hit: cache_hit,
                     });
                 }
-            } else if inst.is_store() {
-                tu.cache.touch(rec.addr);
+            } else if pi.flags & F_STORE != 0 {
+                self.touch_run.push(trace.addr_at(k));
                 done = t2 + 1;
             }
 
-            self.complete[k] = done;
+            debug_assert!(done <= u64::from(u32::MAX));
+            self.complete[k] = done as u32;
             last_commit = last_commit.max(done);
-            rob_ring[local_i % rob] = last_commit;
-            local_i += 1;
+            self.rob_ring[rob_i] = last_commit;
+            rob_i += 1;
+            if rob_i == rob {
+                rob_i = 0;
+                rob_full = true;
+            }
             if writes_reg {
-                writer_ring[writer_i % renames] = last_commit;
+                self.writer_ring[writer_i] = last_commit;
                 writer_i += 1;
+                if writer_i == renames {
+                    writer_i = 0;
+                    writer_full = true;
+                }
             }
 
             // --- Control-flow redirects ----------------------------------
-            if inst.is_cond_branch() {
+            if pi.flags & F_COND_BRANCH != 0 {
                 self.result.branch_predictions += 1;
-                let tu = &mut self.tus[t.tu];
-                let pred = tu.gshare.predict(rec.pc);
-                tu.gshare.update(rec.pc, rec.taken);
-                if pred == rec.taken {
-                    self.result.branch_hits += 1;
-                    if rec.taken {
-                        fetch_cycle = fetch_cycle.max(f + 1);
-                        slots = 0;
-                    }
+                let taken = trace.taken_at(k);
+                let pred = self.gshares[t.tu].predict_update(Pc(pc), taken);
+                // Redirect selection in cmovs: prediction outcomes are the
+                // canonical unpredictable branch.
+                let hit = pred == taken;
+                self.result.branch_hits += u64::from(hit);
+                let redirect = if hit {
+                    if taken { f + 1 } else { fetch_cycle }
                 } else {
-                    fetch_cycle = fetch_cycle.max(done + self.cfg.mispredict_penalty);
-                    slots = 0;
-                }
-            } else if inst.is_control() {
+                    done + self.cfg.mispredict_penalty
+                };
+                fetch_cycle = fetch_cycle.max(redirect);
+                slots = if hit && !taken { slots } else { 0 };
+            } else if pi.flags & F_CONTROL != 0 {
                 fetch_cycle = fetch_cycle.max(f + 1);
                 slots = 0;
             }
 
             k += 1;
         }
-        Ok((k, last_commit, doomed))
+        if fast_units {
+            self.ports[pbase..pbase + 4].copy_from_slice(&ports4);
+            self.fu_free[fbase_tu..fbase_tu + self.fu_total]
+                .copy_from_slice(&fu16[..self.fu_total]);
+        }
+        // Stores after the last load of the window still become resident.
+        if !self.touch_run.is_empty() {
+            self.caches[t.tu].touch_run(&mut self.touch_run);
+        }
+        (k, last_commit)
     }
 
     /// Availability time of a live-in register value whose producer `p`
     /// lies before the thread's window.
+    #[inline(never)]
     fn live_in_time(
         &mut self,
         t: &PendingThread,
-        reg: specmt_isa::Reg,
+        reg_idx: usize,
         p: usize,
-        cache: &mut [Option<u64>; specmt_isa::NUM_REGS],
+        cache: &mut ([u64; specmt_isa::NUM_REGS], u64),
     ) -> u64 {
-        if let Some(v) = cache[reg.index()] {
-            return v;
+        if cache.1 & (1 << reg_idx) != 0 {
+            return cache.0[reg_idx];
         }
-        let forwarded = self.complete[p] + self.cfg.forward_latency;
+        let forwarded = u64::from(self.complete[p]) + self.cfg.forward_latency;
         let avail = match t.pair {
             // The root thread (no spawn): values flow in program order.
             None => t.init_done.max(forwarded),
@@ -671,17 +1105,18 @@ impl<'a, 's> Engine<'a, 's> {
             // predictor, as in the paper — including values the spawner had
             // already computed (loop invariants, base pointers); those are
             // the predictor's easy hits and part of its reported accuracy.
-            Some((sp_pc, cqip_pc)) => match self.cfg.value_predictor {
+            Some(pid) => match self.cfg.value_predictor {
                 ValuePredictorKind::Perfect => t.init_done,
                 ValuePredictorKind::None => t.init_done.max(forwarded),
                 _ => match self.predictor.as_mut() {
                     // Defensive: a table-backed kind always builds one.
                     None => t.init_done.max(forwarded),
                     Some(predictor) => {
+                        let (sp_pc, cqip_pc) = self.pairs.keys[pid as usize];
                         let key = PredKey {
                             sp_pc,
                             cqip_pc,
-                            reg: reg.index() as u8,
+                            reg: reg_idx as u8,
                         };
                         let actual = if p < self.trace.len() {
                             self.trace.result_at(p)
@@ -716,21 +1151,17 @@ impl<'a, 's> Engine<'a, 's> {
                 },
             },
         };
-        cache[reg.index()] = Some(avail);
+        cache.0[reg_idx] = avail;
+        cache.1 |= 1 << reg_idx;
         avail
     }
 
     /// Attempts a spawn at dynamic index `k` (an SP occurrence whose static
     /// pc is `pc`) at cycle `f`. Returns a doomed child to record, if the
-    /// spawn was a control misspeculation.
-    fn try_spawn(
-        &mut self,
-        t: &PendingThread,
-        k: usize,
-        pc: Pc,
-        f: u64,
-        doomed_so_far: &[DoomedChild],
-    ) -> Option<DoomedChild> {
+    /// spawn was a control misspeculation. Reads `self.doomed` for the
+    /// window's already-doomed children (CQIP conflict checks).
+    #[inline(never)]
+    fn try_spawn(&mut self, t: &PendingThread, k: usize, pc: u32, f: u64) -> Option<DoomedChild> {
         // Chaos: the spawn opportunity is silently lost (a flaky spawn
         // unit), before any candidate is even considered.
         let spawn_dropped = self.faults.as_mut().is_some_and(FaultInjector::roll_drop_spawn);
@@ -748,36 +1179,30 @@ impl<'a, 's> Engine<'a, 's> {
             return None;
         }
         let reinstate_period = self.cfg.removal.and_then(|p| p.reinstate_after);
-        let n_cands = self.table.candidates(pc).len();
-        for ci in 0..n_cands {
-            let cand = self.table.candidates(pc)[ci];
-            let key = (cand.sp.0, cand.cqip.0);
-            // One lookup serves both the removal check and the footnote-1
-            // reinstatement (a removed pair may cool off and come back).
-            if let Some(e) = self.pair_rt.get_mut(&key) {
-                if e.removed {
-                    let reinstated = reinstate_period
-                        .is_some_and(|period| f.saturating_sub(e.removed_at) >= period);
-                    if reinstated {
-                        e.removed = false;
-                        e.alone_count = 0;
-                    } else if self.cfg.reassign {
-                        continue;
-                    } else {
-                        self.result.spawns_declined += 1;
-                        return None;
-                    }
+        let c0 = self.cand_offsets[pc as usize] as usize;
+        let c1 = self.cand_offsets[pc as usize + 1] as usize;
+        for ci in c0..c1 {
+            let pid = self.cand_pair[ci] as usize;
+            // One arena read serves both the removal check and the
+            // footnote-1 reinstatement (a removed pair may cool off and
+            // come back).
+            if self.pairs.removed[pid] {
+                let reinstated = reinstate_period
+                    .is_some_and(|period| f.saturating_sub(self.pairs.removed_at[pid]) >= period);
+                if reinstated {
+                    self.pairs.removed[pid] = false;
+                    self.pairs.alone_count[pid] = 0;
+                } else if self.cfg.reassign {
+                    continue;
+                } else {
+                    self.result.spawns_declined += 1;
+                    return None;
                 }
             }
             // Hardware check: a more speculative thread already started at
-            // this CQIP.
-            let cqip_busy = self
-                .chain
-                .iter()
-                .map(|c| c.start_pc)
-                .chain(doomed_so_far.iter().map(|d| d.cqip_pc))
-                .any(|start_pc| start_pc == cand.cqip.0);
-            if cqip_busy {
+            // this CQIP (counts cover the chain and this window's doomed).
+            let cd = self.cand_cqip[ci] as usize;
+            if self.cqip_active[cd] > 0 {
                 if self.cfg.reassign {
                     continue;
                 }
@@ -785,13 +1210,11 @@ impl<'a, 's> Engine<'a, 's> {
                 return None;
             }
             // A free thread unit at spawn time.
-            let Some(tu) =
-                (0..self.tus.len()).find(|&i| !self.tus[i].busy && self.tus[i].free_at <= f)
-            else {
+            let Some(tu) = self.tu_find_free(f) else {
                 self.result.spawns_declined += 1;
                 return None;
             };
-            self.tus[tu].busy = true;
+            self.tu_claim(tu);
             self.result.threads_spawned += 1;
             let id = self.next_thread_id;
             self.next_thread_id += 1;
@@ -818,36 +1241,43 @@ impl<'a, 's> Engine<'a, 's> {
                         kind: FaultKind::ForcedSquash,
                     });
                 }
+                self.cqip_active[cd] += 1;
                 return Some(DoomedChild {
                     id,
                     tu,
                     spawn_time: f,
-                    cqip_pc: cand.cqip.0,
-                    pair: key,
+                    cd: cd as u32,
+                    pair: pid as PairId,
                     fault: true,
                 });
             }
-            // Oracle: where does this CQIP next occur?
-            let next = self.cqip_occurrences.get(&cand.cqip.0).and_then(|list| {
-                let pos = list.partition_point(|&o| o as usize <= k);
-                list.get(pos).copied()
-            });
+            // Oracle: where does this CQIP next occur? Spawn attempts
+            // arrive at non-decreasing `k`, so the per-CQIP cursor resumes
+            // where the last search for this CQIP stopped.
+            let hi = self.occ_offsets[cd + 1] as usize;
+            let mut cur = self.occ_cursor[cd] as usize;
+            while cur < hi && self.occ_values[cur] as usize <= k {
+                cur += 1;
+            }
+            self.occ_cursor[cd] = cur as u32;
+            let next = (cur < hi).then(|| self.occ_values[cur]);
             // The spawn is a control misspeculation unless the CQIP
             // recurs before the spawner's current immediate successor:
             // hardware discovers the mismatch when the spawner joins a
             // different thread first (e.g. spawning "one more iteration"
             // exactly when the loop exits).
-            let bound = self.chain.first().map(|c| c.start);
+            let bound = self.chain.front().map(|c| c.start);
             let next = next.filter(|&j| bound.is_none_or(|b| (j as usize) < b));
             match next {
                 None => {
                     // Control misspeculation: squashed when we join.
+                    self.cqip_active[cd] += 1;
                     return Some(DoomedChild {
                         id,
                         tu,
                         spawn_time: f,
-                        cqip_pc: cand.cqip.0,
-                        pair: key,
+                        cd: cd as u32,
+                        pair: pid as PairId,
                         fault: false,
                     });
                 }
@@ -855,17 +1285,18 @@ impl<'a, 's> Engine<'a, 's> {
                     let child = PendingThread {
                         id,
                         start: j as usize,
-                        start_pc: cand.cqip.0,
                         spawn_time: f,
                         init_done: f + 1 + self.cfg.init_overhead,
                         tu,
-                        pair: Some(key),
+                        pair: Some(pid as PairId),
+                        cd: cd as u32,
                     };
                     let pos = self.chain.partition_point(|c| c.start < child.start);
                     debug_assert!(
                         self.chain.get(pos).is_none_or(|c| c.start != child.start),
                         "two threads cannot share a start"
                     );
+                    self.cqip_active[cd] += 1;
                     self.chain.insert(pos, child);
                     return None;
                 }
@@ -889,36 +1320,44 @@ impl<'a, 's> Engine<'a, 's> {
         // Guilt metric: pairs whose spawns get squashed (doomed fraction)
         // are the offenders; short committed threads are often their
         // victims. Among undersized pairs, remove the most squash-prone,
-        // breaking ties by smallest average size.
-        let worst = self
-            .pair_rt
-            .iter()
-            .filter(|(_, e)| {
-                !e.removed
-                    && e.size_samples >= MIN_SIZE_SAMPLES
-                    && e.size_sum < u64::from(min) * u64::from(e.size_samples)
-            })
-            .max_by(|(ka, a), (kb, b)| {
-                let za = a.size_zeros as f64 / a.size_samples as f64;
-                let zb = b.size_zeros as f64 / b.size_samples as f64;
-                let sa = a.size_sum as f64 / a.size_samples as f64;
-                let sb = b.size_sum as f64 / b.size_samples as f64;
-                // Full ties fall back to the pair key so the pick never
-                // depends on map iteration order.
-                za.total_cmp(&zb).then(sb.total_cmp(&sa)).then(ka.cmp(kb))
-            })
-            .map(|(k, _)| *k);
-        if let Some(e) = worst.and_then(|key| self.pair_rt.get_mut(&key)) {
-            e.removed = true;
+        // breaking ties by smallest average size. Ids ascend in key order,
+        // so the final key tie-break (which keeps the pick independent of
+        // visit order) is the id comparison itself.
+        let a = &self.pairs;
+        let mut worst: Option<usize> = None;
+        for i in 0..a.keys.len() {
+            if a.removed[i]
+                || a.size_samples[i] < MIN_SIZE_SAMPLES
+                || a.size_sum[i] >= u64::from(min) * u64::from(a.size_samples[i])
+            {
+                continue;
+            }
+            let better = match worst {
+                None => true,
+                Some(b) => {
+                    let zi = a.size_zeros[i] as f64 / a.size_samples[i] as f64;
+                    let zb = a.size_zeros[b] as f64 / a.size_samples[b] as f64;
+                    let si = a.size_sum[i] as f64 / a.size_samples[i] as f64;
+                    let sb = a.size_sum[b] as f64 / a.size_samples[b] as f64;
+                    zi.total_cmp(&zb)
+                        .then(sb.total_cmp(&si))
+                        .then(a.keys[i].cmp(&a.keys[b]))
+                        .is_gt()
+                }
+            };
+            if better {
+                worst = Some(i);
+            }
+        }
+        if let Some(i) = worst {
+            self.pairs.removed[i] = true;
             // Minimum-size removals are structural; keep them permanent by
             // pushing the reinstatement clock far out.
-            e.removed_at = u64::MAX / 2;
+            self.pairs.removed_at[i] = u64::MAX / 2;
             self.result.pairs_removed += 1;
-            for e in self.pair_rt.values_mut() {
-                e.size_samples = 0;
-                e.size_sum = 0;
-                e.size_zeros = 0;
-            }
+            self.pairs.size_samples.fill(0);
+            self.pairs.size_sum.fill(0);
+            self.pairs.size_zeros.fill(0);
         }
     }
 
@@ -931,53 +1370,47 @@ impl<'a, 's> Engine<'a, 's> {
         window_len: u64,
         pred_commit: u64,
     ) {
-        let Some(pair) = t.pair else {
+        let Some(pid) = t.pair else {
             // The root thread has no pair, but its doomed children still
             // count for the minimum-size policy.
             if self.cfg.min_observed_size.is_some() {
                 for d in doomed {
-                    let e = self.pair_rt.entry(d.pair).or_default();
-                    e.size_samples += 1;
-                    e.size_zeros += 1;
+                    self.pairs.size_samples[d.pair as usize] += 1;
+                    self.pairs.size_zeros[d.pair as usize] += 1;
                 }
                 self.check_min_size_removals();
             }
             return;
         };
+        let pid = pid as usize;
 
         // Chaos: condemn the retiring thread's pair as if a dynamic policy
         // had removed it.
         let forced_removal = self.faults.as_mut().is_some_and(FaultInjector::roll_remove_pair);
-        if forced_removal {
-            let e = self.pair_rt.entry(pair).or_default();
-            if !e.removed {
-                e.removed = true;
-                e.removed_at = exec_done;
-                self.result.pairs_removed += 1;
-                self.result.fault_forced_removals += 1;
-                if self.observing {
-                    self.emit(Event::FaultInjected {
-                        thread: t.id,
-                        unit: t.tu as u32,
-                        cycle: exec_done,
-                        kind: FaultKind::ForcedRemoval,
-                    });
-                }
+        if forced_removal && !self.pairs.removed[pid] {
+            self.pairs.removed[pid] = true;
+            self.pairs.removed_at[pid] = exec_done;
+            self.result.pairs_removed += 1;
+            self.result.fault_forced_removals += 1;
+            if self.observing {
+                self.emit(Event::FaultInjected {
+                    thread: t.id,
+                    unit: t.tu as u32,
+                    cycle: exec_done,
+                    kind: FaultKind::ForcedRemoval,
+                });
             }
         }
 
-        if let Some(min) = self.cfg.min_observed_size {
+        if self.cfg.min_observed_size.is_some() {
             // Squashed children are the ultimate undersized thread: charge
             // them to their pair as zero-size observations.
             for d in doomed {
-                let e = self.pair_rt.entry(d.pair).or_default();
-                e.size_samples += 1;
-                e.size_zeros += 1;
+                self.pairs.size_samples[d.pair as usize] += 1;
+                self.pairs.size_zeros[d.pair as usize] += 1;
             }
-            let e = self.pair_rt.entry(pair).or_default();
-            e.size_samples += 1;
-            e.size_sum += window_len;
-            let _ = min;
+            self.pairs.size_samples[pid] += 1;
+            self.pairs.size_sum[pid] += window_len;
             self.check_min_size_removals();
         }
 
@@ -990,27 +1423,25 @@ impl<'a, 's> Engine<'a, 's> {
             // "Alone" ends when enough successors have spawned: the first
             // for the strict policy, the (max_companions+1)-th for the
             // few-threads variant the paper also evaluates.
-            let mut succ_spawns: Vec<u64> = self
-                .chain
-                .iter()
-                .map(|c| c.spawn_time)
-                .chain(doomed.iter().map(|d| d.spawn_time))
-                .collect();
-            succ_spawns.sort_unstable();
-            let alone_until = succ_spawns
+            self.succ_spawns.clear();
+            self.succ_spawns.extend(self.chain.iter().map(|c| c.spawn_time));
+            self.succ_spawns.extend(doomed.iter().map(|d| d.spawn_time));
+            self.succ_spawns.sort_unstable();
+            let alone_until = self
+                .succ_spawns
                 .get(policy.max_companions as usize)
                 .copied()
                 .unwrap_or(exec_done);
             let alone_end = alone_until.min(exec_done);
-            if alone_end > alone_start && alone_end - alone_start > policy.alone_cycles {
-                let e = self.pair_rt.entry(pair).or_default();
-                if !e.removed {
-                    e.alone_count += 1;
-                    if e.alone_count >= policy.occurrences {
-                        e.removed = true;
-                        e.removed_at = alone_end;
-                        self.result.pairs_removed += 1;
-                    }
+            if alone_end > alone_start
+                && alone_end - alone_start > policy.alone_cycles
+                && !self.pairs.removed[pid]
+            {
+                self.pairs.alone_count[pid] += 1;
+                if self.pairs.alone_count[pid] >= policy.occurrences {
+                    self.pairs.removed[pid] = true;
+                    self.pairs.removed_at[pid] = alone_end;
+                    self.result.pairs_removed += 1;
                 }
             }
         }
@@ -1020,6 +1451,7 @@ impl<'a, 's> Engine<'a, 's> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use specmt_isa::{Pc, ProgramBuilder, Reg};
     use specmt_spawn::{PairOrigin, SpawnPair};
 
@@ -1458,6 +1890,28 @@ mod tests {
             let act = r.avg_active_threads();
             assert!(act <= tus as f64 + 1e-9, "{act} > {tus}");
             assert!(act >= 1.0);
+        }
+    }
+
+    proptest! {
+        /// Pair interning assigns ids in exactly the order the replaced
+        /// `BTreeMap<(u32, u32), PairRuntime>` iterated: ascending by
+        /// `(sp, cqip)` key, with duplicates collapsed.
+        #[test]
+        fn pair_interning_matches_btreemap_order(
+            raw in proptest::collection::vec((0u32..500, 0u32..500), 0..64)
+        ) {
+            let pairs: Vec<SpawnPair> =
+                raw.iter().map(|&(sp, cqip)| pair(sp, cqip)).collect();
+            let table = SpawnTable::from_pairs(pairs);
+            let arena = PairArena::new(&table);
+            let reference: std::collections::BTreeMap<(u32, u32), ()> =
+                table.iter().map(|p| ((p.sp.0, p.cqip.0), ())).collect();
+            let keys: Vec<(u32, u32)> = reference.into_keys().collect();
+            prop_assert_eq!(&arena.keys, &keys);
+            for (i, &k) in keys.iter().enumerate() {
+                prop_assert_eq!(arena.id_of(k), Some(i as PairId));
+            }
         }
     }
 }

@@ -1,7 +1,5 @@
 //! Dynamic data-dependence graphs over traces.
 
-use std::collections::HashMap;
-
 use specmt_isa::Reg;
 
 use crate::Trace;
@@ -48,48 +46,183 @@ pub const NO_PRODUCER: u32 = u32::MAX;
 pub struct DepGraph {
     reg_producers: Vec<[u32; 2]>,
     mem_producers: Vec<u32>,
+    /// Largest address in the trace, folded into the build pass so
+    /// consumers sizing address-indexed structures (e.g. the compact cache
+    /// tag store) need no extra scan per simulation run.
+    max_addr: u64,
+}
+
+/// Per-static-instruction facts predecoded once per [`DepGraph::build`],
+/// so the per-dynamic-instruction pass reads one flat byte-packed entry
+/// instead of interrogating the `Inst` enum four times.
+#[derive(Clone, Copy)]
+struct DepPre {
+    /// Source register index per operand slot (`NO_REG` = absent or the
+    /// hardwired zero register, which never has a producer).
+    src: [u8; 2],
+    /// Destination register index, or `NO_REG`.
+    dst: u8,
+    is_load: bool,
+    is_store: bool,
+}
+
+const NO_REG: u8 = u8::MAX;
+
+/// Open-addressing `address -> last store index` map with linear probing.
+/// Exact-key semantics only (no iteration), so it computes exactly what the
+/// `HashMap` it replaces did, minus the hashing and branching overhead.
+struct AddrMap {
+    /// Slot keys; an empty slot holds `u64::MAX`. Split from the values so
+    /// probing scans key words only.
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    mask: usize,
+    /// Out-of-line entry for the one key that collides with the empty
+    /// marker (an address of `u64::MAX` is degenerate but must stay
+    /// correct).
+    max_key: Option<u32>,
+}
+
+impl AddrMap {
+    fn with_capacity(entries: usize) -> AddrMap {
+        // ≤ 50% load factor keeps probe chains short.
+        let cap = (entries * 2).next_power_of_two().max(16);
+        AddrMap {
+            keys: vec![u64::MAX; cap],
+            vals: vec![0; cap],
+            mask: cap - 1,
+            max_key: None,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        // Fibonacci hashing: multiplicative spread of aligned addresses.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<u32> {
+        if key == u64::MAX {
+            return self.max_key;
+        }
+        let mut i = self.slot_of(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == u64::MAX {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: u64, value: u32) {
+        if key == u64::MAX {
+            self.max_key = Some(value);
+            return;
+        }
+        let mut i = self.slot_of(key);
+        loop {
+            let k = self.keys[i];
+            if k == key || k == u64::MAX {
+                self.keys[i] = key;
+                self.vals[i] = value;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
 }
 
 impl DepGraph {
     /// Computes producers for every dynamic instruction of `trace`.
     ///
     /// Runs in a single pass: `O(len)` time, `O(len + distinct addresses)`
-    /// space.
+    /// space. Static instructions are predecoded up front and the
+    /// last-store map is a purpose-built open-addressing table, so the
+    /// pass itself is a tight scan over the trace's pc column.
     pub fn build(trace: &Trace) -> DepGraph {
         let n = trace.len();
         let mut reg_producers = vec![[NO_PRODUCER; 2]; n];
         let mut mem_producers = vec![NO_PRODUCER; n];
         let mut last_reg_write = [NO_PRODUCER; specmt_isa::NUM_REGS];
-        let mut last_store: HashMap<u64, u32> = HashMap::new();
 
-        for k in 0..n {
-            let inst = trace.inst(k);
-            for (s, src) in inst.srcs().into_iter().enumerate() {
-                if let Some(r) = src {
+        let program = trace.program();
+        let mut pre: Vec<DepPre> = Vec::with_capacity(program.len());
+        let mut store_pcs = 0usize;
+        for inst in program.insts() {
+            let mut p = DepPre {
+                src: [NO_REG; 2],
+                dst: NO_REG,
+                is_load: inst.is_load(),
+                is_store: inst.is_store(),
+            };
+            for (s, r) in inst.srcs().into_iter().enumerate() {
+                if let Some(r) = r {
                     if !r.is_zero() {
-                        reg_producers[k][s] = last_reg_write[r.index()];
+                        p.src[s] = r.index() as u8;
                     }
                 }
             }
-            if inst.is_load() {
-                if let Some(&p) = last_store.get(&trace.addr_at(k)) {
-                    mem_producers[k] = p;
+            if let Some(d) = inst.dst() {
+                if !d.is_zero() {
+                    p.dst = d.index() as u8;
                 }
             }
-            if inst.is_store() {
+            store_pcs += usize::from(p.is_store);
+            pre.push(p);
+        }
+        // Size the map by the dynamic store count — an upper bound on
+        // distinct store addresses — so it never needs to grow.
+        let dyn_stores = if store_pcs > 0 {
+            trace
+                .pcs()
+                .iter()
+                .filter(|&&pc| pre[pc as usize].is_store)
+                .count()
+        } else {
+            0
+        };
+        let mut last_store = AddrMap::with_capacity(dyn_stores);
+
+        let mut max_addr = 0u64;
+        for (k, &pc) in trace.pcs().iter().enumerate() {
+            max_addr = max_addr.max(trace.addr_at(k));
+            let p = pre[pc as usize];
+            if p.src[0] != NO_REG {
+                reg_producers[k][0] = last_reg_write[p.src[0] as usize];
+            }
+            if p.src[1] != NO_REG {
+                reg_producers[k][1] = last_reg_write[p.src[1] as usize];
+            }
+            if p.is_load {
+                if let Some(v) = last_store.get(trace.addr_at(k)) {
+                    mem_producers[k] = v;
+                }
+            }
+            if p.is_store {
                 last_store.insert(trace.addr_at(k), k as u32);
             }
-            if let Some(dst) = inst.dst() {
-                if !dst.is_zero() {
-                    last_reg_write[dst.index()] = k as u32;
-                }
+            if p.dst != NO_REG {
+                last_reg_write[p.dst as usize] = k as u32;
             }
         }
 
         DepGraph {
             reg_producers,
             mem_producers,
+            max_addr,
         }
+    }
+
+    /// The largest address any dynamic instruction touches (0 for an empty
+    /// trace).
+    pub fn max_addr(&self) -> u64 {
+        self.max_addr
     }
 
     /// Number of dynamic instructions covered.

@@ -249,6 +249,13 @@ impl Trace {
         self.taken[k / 64] & (1u64 << (k % 64)) != 0
     }
 
+    /// The effective-address column, in execution order (zero for
+    /// non-memory instructions) — the cheapest way to scan the trace's
+    /// memory footprint.
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
     /// The effective memory address of the instruction at dynamic index `k`
     /// (zero for non-memory instructions).
     ///
