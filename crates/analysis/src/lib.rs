@@ -62,6 +62,11 @@ mod cfg;
 mod markov;
 mod reach;
 
+/// Code revision of the profile-analysis stage (CFG construction, pruning,
+/// reaching probabilities), a component of profile-namespace store keys.
+/// Bump when these analyses change output for identical inputs.
+pub const CODE_REV: u32 = 1;
+
 pub use bbs::BasicBlocks;
 pub use bitset::BitSet;
 pub use blockstream::{BlockEvent, BlockStream};

@@ -47,24 +47,27 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| bench.run(SimConfig::paper(16), &table).expect("simulation"))
     });
 
-    // Suite load through the disk cache: cold (fresh dir) vs warm. The
-    // private cache dir keeps `cargo bench` from polluting real runs.
+    // Suite load through the artifact store: cold (fresh dir) vs warm. The
+    // private store dir keeps `cargo bench` from polluting real runs.
     let dir = std::env::temp_dir().join(format!("specmt-bench-cache-{}", std::process::id()));
-    std::env::set_var("SPECMT_CACHE_DIR", &dir);
     let _ = std::fs::remove_dir_all(&dir);
     c.bench_function("suite_load_cold", |b| {
         b.iter(|| {
             let _ = std::fs::remove_dir_all(&dir);
-            specmt_bench::Harness::load_at(scale).expect("suite loads")
+            let store = specmt_store::Store::open(specmt_store::StoreConfig::at(&dir));
+            specmt_bench::Harness::load_at_with(scale, store).expect("suite loads")
         })
     });
     let _ = std::fs::remove_dir_all(&dir);
-    let _ = specmt_bench::Harness::load_at(scale).expect("suite loads");
+    let populate = specmt_store::Store::open(specmt_store::StoreConfig::at(&dir));
+    let _ = specmt_bench::Harness::load_at_with(scale, populate).expect("suite loads");
     c.bench_function("suite_load_warm", |b| {
-        b.iter(|| specmt_bench::Harness::load_at(scale).expect("suite loads"))
+        b.iter(|| {
+            let store = specmt_store::Store::open(specmt_store::StoreConfig::at(&dir));
+            specmt_bench::Harness::load_at_with(scale, store).expect("suite loads")
+        })
     });
     let _ = std::fs::remove_dir_all(&dir);
-    std::env::remove_var("SPECMT_CACHE_DIR");
 }
 
 criterion_group!(benches, bench_pipeline);

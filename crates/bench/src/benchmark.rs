@@ -114,6 +114,13 @@ impl Bench {
         Ok(bench)
     }
 
+    /// Seeds the baseline cycle count from a store hit (no-op if already
+    /// computed). The value must come from a key that covers the
+    /// single-threaded configuration and the simulator revision.
+    pub(crate) fn seed_baseline(&self, cycles: u64) {
+        let _ = self.baseline.set(cycles);
+    }
+
     /// The whole suite at `scale`, in the paper's reporting order.
     ///
     /// # Errors

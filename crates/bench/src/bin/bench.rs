@@ -148,19 +148,21 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let sim_insts = bench.trace().len() as u64;
     let sim_ips = sim_insts as f64 / (sim / 1e3);
 
-    // Suite load, cold vs warm, in a private cache dir.
+    // Suite load, cold vs warm, in a private store dir.
     let dir = std::env::temp_dir().join(format!("specmt-benchbin-cache-{}", std::process::id()));
-    std::env::set_var("SPECMT_CACHE_DIR", &dir);
-    std::env::remove_var("SPECMT_CACHE");
     let load_cold = time_ms(runs.min(3), || {
         let _ = std::fs::remove_dir_all(&dir);
-        Harness::load_at(scale).expect("suite loads")
+        let store = specmt_store::Store::open(specmt_store::StoreConfig::at(&dir));
+        Harness::load_at_with(scale, store).expect("suite loads")
     });
     let _ = std::fs::remove_dir_all(&dir);
-    let _ = Harness::load_at(scale)?; // populate
-    let load_warm = time_ms(runs.min(3), || Harness::load_at(scale).expect("suite loads"));
+    let populate = specmt_store::Store::open(specmt_store::StoreConfig::at(&dir));
+    let _ = Harness::load_at_with(scale, populate)?;
+    let load_warm = time_ms(runs.min(3), || {
+        let store = specmt_store::Store::open(specmt_store::StoreConfig::at(&dir));
+        Harness::load_at_with(scale, store).expect("suite loads")
+    });
     let _ = std::fs::remove_dir_all(&dir);
-    std::env::remove_var("SPECMT_CACHE_DIR");
 
     let kernels: Vec<(&str, f64)> = vec![
         ("reach_naive_ms", reach_naive),

@@ -1,288 +1,185 @@
-//! Persistent content-addressed cache for the trace → analysis pipeline.
+//! Stage keys and store plumbing for the trace → simulate pipeline.
 //!
-//! Every figure run starts by loading the whole suite: generate eight
-//! traces, profile each one, and simulate each single-threaded baseline.
-//! Within one process [`crate::Harness`] does that exactly once, but
-//! successive `specmt bench` invocations are separate processes, so without
-//! a disk cache the identical work is redone every time. This module
-//! memoizes the expensive products —
-//! the trace (in the `SMTR` binary format), the default profile result, the
-//! heuristic table, and the baseline cycle count — under
-//! `target/specmt-cache/`.
+//! The pipeline is a chain of pure functions; this module names each
+//! stage's *input closure* and turns it into a [`StageKey`] for the
+//! content-addressed store (`specmt-store`):
 //!
-//! ## Keying and invalidation
+//! | stage      | namespace    | key components                                             |
+//! |------------|--------------|------------------------------------------------------------|
+//! | `trace`    | `trace`      | program JSON, step budget, checksum, trace code-rev        |
+//! | `profile`  | `profile`    | trace key, `ProfileConfig`, analysis + spawn code-revs     |
+//! | `table`    | `spawn-table`| trace key, scheme identity, `SchemeParams`, spawn code-rev |
+//! | `baseline` | `analysis`   | trace key, single-threaded `SimConfig`, sim code-rev       |
+//! | `simulate` | `simresult`  | trace key, `SpawnTable` content, `SimConfig`, sim code-rev |
 //!
-//! An entry's file stem is `<name>-<scale>-<hash>`, where the hash is
-//! FNV-1a over the workload's *program JSON*, its step budget and expected
-//! checksum, and the crate version. Any change to a workload's program,
-//! to the generator parameters behind it, or a version bump therefore
-//! misses cleanly instead of serving stale results. Analysis-parameter
-//! changes (e.g. `ProfileConfig` defaults) are covered by the version
-//! component: bump the workspace version when changing them.
+//! Because every downstream key *chains* the upstream stage's key, a
+//! workload change invalidates everything derived from its trace, while a
+//! `SimConfig` change re-keys only the simulate stage — profile results and
+//! spawn tables keep hitting. Analysis parameters (`ProfileConfig`,
+//! `SchemeParams`) are hashed into the keys directly, so a parameter change
+//! misses without any version bump; semantic changes to a stage's code are
+//! declared by bumping that crate's `CODE_REV` constant.
+//!
+//! The simulate key fingerprints the spawn table's *content*, not its
+//! provenance, so ad-hoc tables (ablation sweeps, custom schemes, merged
+//! tables) address results correctly.
 //!
 //! ## Trust model
 //!
-//! Cache entries are never trusted: the trace is structurally re-validated
-//! and must reproduce the workload's expected checksum
-//! ([`crate::Bench::from_cached`]), and the metadata must parse. Any
-//! failure — truncation, corruption, a stale key collision — is treated as
-//! a miss and the entry is regenerated. Writes go through a temp file +
-//! rename so a crashed process cannot leave a torn entry behind.
-//!
-//! Set `SPECMT_CACHE=off` to bypass the cache entirely, or
-//! `SPECMT_CACHE_DIR` to relocate it.
+//! Stale entries are unreachable by construction (the key is the content
+//! address of the inputs). Corrupt entries are parse-and-reject: traces are
+//! structurally re-validated and checksum-verified by
+//! [`Bench::from_cached`], JSON payloads must parse; any failure falls
+//! through to regeneration, which overwrites the entry.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
-use specmt_spawn::{ProfileResult, SpawnTable};
+use specmt_sim::SimConfig;
+use specmt_spawn::{ProfileConfig, SchemeParams, SpawnTable};
+use specmt_store::{KeyBuilder, Namespace, StageKey, Store};
 use specmt_trace::Trace;
-use specmt_workloads::{Scale, Workload};
+use specmt_workloads::Workload;
 
-use crate::Bench;
+use crate::{Bench, BenchError};
 
-/// Whether the persistent cache is enabled (`SPECMT_CACHE` not `off`/`0`).
-pub fn enabled() -> bool {
-    !matches!(
-        std::env::var("SPECMT_CACHE").as_deref(),
-        Ok("off") | Ok("0") | Ok("false")
+/// The trace stage's key: everything that determines the generated trace.
+/// `None` if the program cannot be serialized (the store is skipped, the
+/// pipeline still runs).
+pub fn trace_stage(workload: &Workload) -> Option<StageKey> {
+    let program_json = serde_json::to_vec(&workload.program).ok()?;
+    Some(
+        KeyBuilder::new("trace")
+            .component("program", program_json.as_slice())
+            .component("step-budget", &workload.step_budget)
+            .component("checksum", &workload.expected_checksum)
+            .code_rev(specmt_trace::CODE_REV)
+            .finish(),
     )
 }
 
-/// The cache directory: `SPECMT_CACHE_DIR` or `target/specmt-cache`
-/// relative to the working directory.
-pub fn dir() -> PathBuf {
-    match std::env::var("SPECMT_CACHE_DIR") {
-        Ok(d) if !d.is_empty() => PathBuf::from(d),
-        _ => PathBuf::from("target/specmt-cache"),
-    }
+/// The profile stage's key: the trace it read plus the `ProfileConfig`
+/// subset that §3.1 selection actually consumes.
+pub fn profile_stage(trace_key: &StageKey, config: &ProfileConfig) -> StageKey {
+    KeyBuilder::new("profile")
+        .chain("trace-key", trace_key)
+        .component("profile-config", config)
+        .component("analysis-code-rev", &specmt_analysis::CODE_REV)
+        .component("spawn-code-rev", &specmt_spawn::CODE_REV)
+        .finish()
 }
 
-/// Everything one cache entry restores.
-#[derive(Debug)]
-pub(crate) struct CachedParts {
-    pub bench: Bench,
-    pub profile: ProfileResult,
-    pub heuristics: SpawnTable,
+/// A spawn-table entry's key: the trace, the scheme's self-declared cache
+/// identity (see `SpawnScheme::cache_identity`), and the selection
+/// parameters.
+pub fn table_stage(trace_key: &StageKey, identity: &str, params: &SchemeParams) -> StageKey {
+    KeyBuilder::new("table")
+        .chain("trace-key", trace_key)
+        .component("scheme-identity", identity)
+        .component("scheme-params", params)
+        .component("spawn-code-rev", &specmt_spawn::CODE_REV)
+        .finish()
 }
 
-/// The sidecar metadata stored next to the binary trace.
-struct Meta {
-    baseline: u64,
-    profile: ProfileResult,
-    heuristics: SpawnTable,
+/// The single-threaded baseline's key (an `analysis`-namespace artifact).
+pub fn baseline_stage(trace_key: &StageKey) -> StageKey {
+    KeyBuilder::new("baseline")
+        .chain("trace-key", trace_key)
+        .component("sim-config", &SimConfig::single_threaded())
+        .code_rev(specmt_sim::CODE_REV)
+        .finish()
 }
 
-serde::impl_serde_struct!(Meta {
-    baseline,
-    profile,
-    heuristics,
-});
-
-fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
-    bytes.iter().fold(h, |h, &b| {
-        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-    })
+/// A simulation result's key: the trace, the spawn table's *content* and
+/// the full effective configuration.
+pub fn sim_stage(trace_key: &StageKey, table: &SpawnTable, config: &SimConfig) -> StageKey {
+    KeyBuilder::new("simulate")
+        .chain("trace-key", trace_key)
+        .component("spawn-table", table)
+        .component("sim-config", config)
+        .code_rev(specmt_sim::CODE_REV)
+        .finish()
 }
 
-/// Content hash of everything that determines the pipeline's products.
-fn entry_stem(workload: &Workload, scale: Scale) -> Option<String> {
-    let program_json = serde_json::to_vec(&workload.program).ok()?;
-    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
-    h = fnv1a(h, &program_json);
-    h = fnv1a(h, &workload.step_budget.to_le_bytes());
-    h = fnv1a(h, &workload.expected_checksum.to_le_bytes());
-    h = fnv1a(h, env!("CARGO_PKG_VERSION").as_bytes());
-    Some(format!(
-        "{}-{}-{h:016x}",
-        workload.name,
-        format!("{scale:?}").to_lowercase()
-    ))
+/// The baseline document stored in the `analysis` namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineDoc {
+    /// Single-threaded cycles of the workload's trace.
+    pub cycles: u64,
 }
 
-/// The pid suffix of a writer's temp file name (`<entry>.<ext>.tmpPID`),
-/// if `name` is one.
-fn tmp_pid(name: &str) -> Option<u32> {
-    let (_, suffix) = name.rsplit_once(".tmp")?;
-    suffix.parse().ok()
-}
+serde::impl_serde_struct!(BaselineDoc { cycles });
 
-/// Whether a temp file belongs to a crashed writer. The owning process
-/// still running (checked via `/proc` where it exists) keeps its file;
-/// where liveness cannot be checked, only files over an hour old count as
-/// abandoned.
-fn tmp_is_stale(pid: u32, path: &Path) -> bool {
-    if pid == std::process::id() {
-        return false;
-    }
-    if Path::new("/proc").is_dir() {
-        return !Path::new(&format!("/proc/{pid}")).exists();
-    }
-    fs::metadata(path)
-        .and_then(|m| m.modified())
-        .ok()
-        .and_then(|t| t.elapsed().ok())
-        .is_some_and(|age| age.as_secs() > 3600)
-}
-
-/// Remove temp files left behind by crashed writers. The temp-file +
-/// rename protocol in [`store`] guarantees torn *entries* are impossible,
-/// but a process killed mid-write leaks its `.tmpPID` files; this sweep
-/// collects them on cache open without touching live entries or the temp
-/// files of still-running writers.
-fn sweep_stale_tmp(dir: &Path) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else {
-            continue;
-        };
-        if tmp_pid(name).is_some_and(|pid| tmp_is_stale(pid, &entry.path())) {
-            let _ = fs::remove_file(entry.path());
-        }
-    }
-}
-
-/// Runs the stale-temp sweep at most once per process (the suite loads
-/// eight workloads through [`load`]; one sweep covers them all).
-fn sweep_once(dir: &Path) {
-    static SWEEP: std::sync::Once = std::sync::Once::new();
-    SWEEP.call_once(|| sweep_stale_tmp(dir));
-}
-
-/// Loads a cache entry, returning the workload back on any miss.
+/// Builds a [`Bench`] for `workload`, consulting `store`'s trace namespace
+/// under the logical name `label` before generating. Returns the bench and
+/// its trace stage key (`None` when the workload is unkeyable).
 ///
-/// A miss is silent by design: unreadable, truncated, corrupted or stale
-/// entries all fall through to regeneration.
-pub(crate) fn load(workload: Workload, scale: Scale) -> Result<CachedParts, Workload> {
-    if !enabled() {
-        return Err(workload);
-    }
-    let Some(stem) = entry_stem(&workload, scale) else {
-        return Err(workload);
+/// A stored trace is never trusted: it is structurally re-validated and
+/// must reproduce the workload's checksum ([`Bench::from_cached`]); any
+/// failure regenerates and overwrites the entry.
+///
+/// # Errors
+///
+/// As [`Bench::from_workload`].
+pub fn bench_via_store(
+    store: &Store,
+    workload: Workload,
+    label: &str,
+) -> Result<(Bench, Option<StageKey>), BenchError> {
+    let Some(tkey) = trace_stage(&workload) else {
+        return Ok((Bench::from_workload(workload)?, None));
     };
-    let dir = dir();
-    sweep_once(&dir);
-    let parsed = (|| {
-        let bytes = fs::read(dir.join(format!("{stem}.trace"))).ok()?;
-        let trace = Trace::read_from(&bytes[..]).ok()?;
-        let meta_text = fs::read_to_string(dir.join(format!("{stem}.meta.json"))).ok()?;
-        let meta: Meta = serde_json::from_str(&meta_text).ok()?;
-        Some((trace, meta))
-    })();
-    let Some((trace, meta)) = parsed else {
-        return Err(workload);
-    };
-    // `from_cached` re-validates the trace and its checksum; a failure
-    // means the entry is corrupt or stale, so fall back to regeneration.
-    match Bench::from_cached(workload.clone(), trace, Some(meta.baseline)) {
-        Ok(bench) => Ok(CachedParts {
-            bench,
-            profile: meta.profile,
-            heuristics: meta.heuristics,
-        }),
-        Err(_) => Err(workload),
-    }
-}
-
-/// Persists one fully-built entry. Best-effort: any I/O failure leaves the
-/// cache cold but the in-process results intact.
-pub(crate) fn store(
-    bench: &Bench,
-    scale: Scale,
-    baseline: u64,
-    profile: &ProfileResult,
-    heuristics: &SpawnTable,
-) {
-    if !enabled() {
-        return;
-    }
-    let Some(stem) = entry_stem(bench.workload(), scale) else {
-        return;
-    };
-    let dir = dir();
-    if fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    let meta = Meta {
-        baseline,
-        profile: profile.clone(),
-        heuristics: heuristics.clone(),
-    };
-    let Ok(meta_json) = serde_json::to_string_pretty(&meta) else {
-        return;
-    };
-    let mut trace_bytes = Vec::new();
-    if bench.trace().write_to(&mut trace_bytes).is_err() {
-        return;
-    }
-    // Temp file + rename so concurrent readers never see a torn entry.
-    // The pid suffix keeps concurrent writers (parallel suite load) from
-    // clobbering each other's temp files.
-    let pid = std::process::id();
-    for (ext, bytes) in [("trace", trace_bytes.as_slice()), ("meta.json", meta_json.as_bytes())] {
-        let tmp = dir.join(format!("{stem}.{ext}.tmp{pid}"));
-        let fin = dir.join(format!("{stem}.{ext}"));
-        if fs::write(&tmp, bytes).is_err() || fs::rename(&tmp, &fin).is_err() {
-            let _ = fs::remove_file(&tmp);
-            return;
+    if let Some(bytes) = store.get_bytes(Namespace::Trace, label, &tkey) {
+        if let Ok(trace) = Trace::read_from(&bytes[..]) {
+            if let Ok(bench) = Bench::from_cached(workload.clone(), trace, None) {
+                return Ok((bench, Some(tkey)));
+            }
         }
     }
+    let bench = Bench::from_workload(workload)?;
+    let mut trace_bytes = Vec::new();
+    if bench.trace().write_to(&mut trace_bytes).is_ok() {
+        store.put_bytes(Namespace::Trace, label, &tkey, &trace_bytes);
+    }
+    Ok((bench, Some(tkey)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specmt_workloads::Scale;
 
-    /// A scratch directory unique to one test, removed on drop.
-    struct Scratch(PathBuf);
-
-    impl Scratch {
-        fn new(tag: &str) -> Scratch {
-            let dir = std::env::temp_dir()
-                .join(format!("specmt-cache-test-{}-{tag}", std::process::id()));
-            let _ = fs::remove_dir_all(&dir);
-            fs::create_dir_all(&dir).expect("create scratch dir");
-            Scratch(dir)
-        }
-    }
-
-    impl Drop for Scratch {
-        fn drop(&mut self) {
-            let _ = fs::remove_dir_all(&self.0);
-        }
+    fn workload() -> Workload {
+        specmt_workloads::by_name("li", Scale::Tiny).expect("suite workload")
     }
 
     #[test]
-    fn tmp_pid_parses_only_writer_temp_names() {
-        assert_eq!(tmp_pid("li-tiny-abc.trace.tmp1234"), Some(1234));
-        assert_eq!(tmp_pid("li-tiny-abc.meta.json.tmp7"), Some(7));
-        assert_eq!(tmp_pid("li-tiny-abc.trace"), None);
-        assert_eq!(tmp_pid("li-tiny-abc.trace.tmp"), None);
-        assert_eq!(tmp_pid("li-tiny-abc.trace.tmpnotapid"), None);
+    fn trace_key_is_stable_and_workload_sensitive() {
+        let a = trace_stage(&workload()).expect("keyable");
+        let b = trace_stage(&workload()).expect("keyable");
+        assert_eq!(a.key, b.key);
+        let other = specmt_workloads::by_name("go", Scale::Tiny).expect("suite workload");
+        assert_ne!(a.key, trace_stage(&other).expect("keyable").key);
     }
 
     #[test]
-    fn sweep_removes_orphans_and_spares_live_files() {
-        let scratch = Scratch::new("sweep");
-        let dir = &scratch.0;
-        // An orphan from a "crashed" writer: no such pid can exist (the
-        // kernel's pid space ends far below u32::MAX).
-        let orphan = dir.join(format!("li-tiny-abc.trace.tmp{}", u32::MAX));
-        // A temp file owned by this very process: a live writer mid-store.
-        let live_tmp = dir.join(format!("li-tiny-abc.meta.json.tmp{}", std::process::id()));
-        // A committed entry, which must never be touched.
-        let entry = dir.join("li-tiny-abc.trace");
-        for f in [&orphan, &live_tmp, &entry] {
-            fs::write(f, b"payload").expect("plant file");
-        }
+    fn downstream_stages_chain_the_trace_key() {
+        let t = trace_stage(&workload()).expect("keyable");
+        let other = specmt_workloads::by_name("go", Scale::Tiny).expect("suite workload");
+        let t2 = trace_stage(&other).expect("keyable");
+        let cfg = ProfileConfig::default();
+        assert_ne!(profile_stage(&t, &cfg).key, profile_stage(&t2, &cfg).key);
+        assert_ne!(baseline_stage(&t).key, baseline_stage(&t2).key);
+    }
 
-        sweep_stale_tmp(dir);
-
-        assert!(!orphan.exists(), "orphaned temp file must be swept");
-        assert!(live_tmp.exists(), "a live writer's temp file must survive");
-        assert!(entry.exists(), "committed entries must survive");
+    #[test]
+    fn sim_key_separates_configs_tables_and_stage() {
+        let t = trace_stage(&workload()).expect("keyable");
+        let empty = SpawnTable::empty();
+        let base = sim_stage(&t, &empty, &SimConfig::paper(4));
+        assert_ne!(base.key, sim_stage(&t, &empty, &SimConfig::paper(8)).key);
+        // The baseline stage and an equivalent simulate-stage key must not
+        // collide (same inputs, different stage name).
+        assert_ne!(
+            baseline_stage(&t).key,
+            sim_stage(&t, &empty, &SimConfig::single_threaded()).key
+        );
     }
 }

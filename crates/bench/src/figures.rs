@@ -616,7 +616,12 @@ pub fn ablations(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
         for ctx in &h.benches {
             let table = match params {
                 None => ctx.table_for("profile", &h.registry, &h.params)?,
-                Some(p) => std::sync::Arc::new(h.registry.select("profile", ctx.bench.trace(), p)?),
+                // Each parameter variant is store-addressed under its own
+                // key, so re-running an ablation sweep serves every table
+                // (and its simulations) from the store.
+                Some(p) => {
+                    std::sync::Arc::new(ctx.table_with_params("profile", &h.registry, p)?)
+                }
             };
             let r = ctx.sim(cfg.clone(), &table)?;
             speedups.push(ctx.speedup(&r)?);
@@ -855,7 +860,10 @@ pub fn crossinput(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
     let mut selfp = Vec::new();
     let mut rows = Vec::new();
     for name in SUITE_NAMES {
-        let load = |input| -> Result<crate::Bench, HarnessError> {
+        // Non-default inputs flow through the store like the training
+        // suite: each input's trace is its own root key, and the profile
+        // tables / simulation results below chain from it.
+        let load = |input, tag: &str| -> Result<_, HarnessError> {
             let w = specmt_workloads::by_name_with_input(name, scale, input).ok_or_else(|| {
                 HarnessError::bench(
                     name,
@@ -864,25 +872,89 @@ pub fn crossinput(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
                     },
                 )
             })?;
-            crate::Bench::from_workload(w).map_err(|e| HarnessError::bench(name, e))
+            let label = format!("{name}-{tag}-{}", format!("{scale:?}").to_lowercase());
+            let (bench, key) = crate::cache::bench_via_store(&h.store, w, &label)
+                .map_err(|e| HarnessError::bench(name, e))?;
+            Ok((bench, key, label))
         };
-        let train = load(InputSet::Train)?;
-        let reference = load(InputSet::Ref)?;
+        let (train, train_key, train_label) = load(InputSet::Train, "train")?;
+        let (reference, ref_key, ref_label) = load(InputSet::Ref, "ref")?;
 
-        let train_pairs = h
-            .registry
-            .select("profile", train.trace(), &h.params)?;
-        let ref_pairs = h
-            .registry
-            .select("profile", reference.trace(), &h.params)?;
+        // The reference input's single-threaded baseline is an analysis
+        // artifact like any other: serve it when the closure matches.
+        if let Some(t) = &ref_key {
+            let akey = crate::cache::baseline_stage(t);
+            match h.store.get_json::<crate::cache::BaselineDoc>(
+                specmt_store::Namespace::Analysis,
+                &ref_label,
+                &akey,
+            ) {
+                Some(doc) => reference.seed_baseline(doc.cycles),
+                None => {
+                    let cycles = reference
+                        .baseline_cycles()
+                        .map_err(|e| HarnessError::bench(name, e))?;
+                    h.store.put_json(
+                        specmt_store::Namespace::Analysis,
+                        &ref_label,
+                        &akey,
+                        &crate::cache::BaselineDoc { cycles },
+                    );
+                }
+            }
+        }
+
+        let pairs_for = |bench: &crate::Bench,
+                         key: &Option<specmt_store::StageKey>,
+                         label: &str|
+         -> Result<specmt_spawn::SpawnTable, HarnessError> {
+            let skey = key
+                .as_ref()
+                .map(|t| crate::cache::table_stage(t, "builtin/profile", &h.params));
+            if let Some(k) = &skey {
+                if let Some(t) = h.store.get_json::<specmt_spawn::SpawnTable>(
+                    specmt_store::Namespace::SpawnTable,
+                    label,
+                    k,
+                ) {
+                    return Ok(t);
+                }
+            }
+            let t = h.registry.select("profile", bench.trace(), &h.params)?;
+            if let Some(k) = &skey {
+                h.store
+                    .put_json(specmt_store::Namespace::SpawnTable, label, k, &t);
+            }
+            Ok(t)
+        };
+        let train_pairs = pairs_for(&train, &train_key, &train_label)?;
+        let ref_pairs = pairs_for(&reference, &ref_key, &ref_label)?;
 
         let cfg = crate::best_profile_config(16);
-        let r_train = reference
-            .run(cfg.clone(), &train_pairs)
-            .map_err(|e| HarnessError::bench(name, e))?;
-        let r_self = reference
-            .run(cfg, &ref_pairs)
-            .map_err(|e| HarnessError::bench(name, e))?;
+        let run_stored = |table: &specmt_spawn::SpawnTable| -> Result<_, HarnessError> {
+            let skey = ref_key
+                .as_ref()
+                .map(|t| crate::cache::sim_stage(t, table, &cfg));
+            if let Some(k) = &skey {
+                if let Some(r) = h.store.get_json::<specmt_sim::SimResult>(
+                    specmt_store::Namespace::SimResult,
+                    &ref_label,
+                    k,
+                ) {
+                    return Ok(r);
+                }
+            }
+            let r = reference
+                .run(cfg.clone(), table)
+                .map_err(|e| HarnessError::bench(name, e))?;
+            if let Some(k) = &skey {
+                h.store
+                    .put_json(specmt_store::Namespace::SimResult, &ref_label, k, &r);
+            }
+            Ok(r)
+        };
+        let r_train = run_stored(&train_pairs)?;
+        let r_self = run_stored(&ref_pairs)?;
         let with_train = reference
             .speedup(&r_train)
             .map_err(|e| HarnessError::bench(name, e))?;

@@ -45,9 +45,10 @@ use specmt_exec::{CellOutcome, ExecConfig, Executor, Task};
 use specmt_sim::{RemovalPolicy, SimConfig, SimResult};
 use specmt_spawn::{
     HeuristicSet, ProfileConfig, ProfileResult, SchemeError, SchemeParams, SchemeRegistry,
-    SpawnTable,
+    SpawnScheme, SpawnTable,
 };
 use specmt_stats::Table;
+use specmt_store::{Namespace, StageKey, Store, StoreHandle};
 use specmt_workloads::Scale;
 
 pub use benchmark::{Bench, BenchError};
@@ -151,10 +152,25 @@ pub struct BenchCtx {
     /// When set, [`BenchCtx::sim`] forces `SimConfig::observe` on so every
     /// result carries a metrics snapshot (see [`Harness::set_observe`]).
     observe: AtomicBool,
+    /// The artifact store every pipeline stage consults before computing.
+    store: StoreHandle,
+    /// This benchmark's trace stage key — the root every downstream stage
+    /// key chains from. `None` when the workload is unkeyable (the store is
+    /// then bypassed for this context).
+    trace_key: Option<StageKey>,
+    /// Logical store name for this context's artifacts, `{name}-{scale}`.
+    label: String,
 }
 
 impl BenchCtx {
-    fn new(bench: Bench, profile: ProfileResult, heuristics: SpawnTable) -> BenchCtx {
+    fn new(
+        bench: Bench,
+        profile: ProfileResult,
+        heuristics: SpawnTable,
+        store: StoreHandle,
+        trace_key: Option<StageKey>,
+        label: String,
+    ) -> BenchCtx {
         let mut tables = HashMap::new();
         tables.insert("profile".to_owned(), Arc::new(profile.table.clone()));
         tables.insert("heuristics".to_owned(), Arc::new(heuristics.clone()));
@@ -164,16 +180,36 @@ impl BenchCtx {
             heuristics,
             tables: Mutex::new(tables),
             observe: AtomicBool::new(false),
+            store,
+            trace_key,
+            label,
         }
     }
 
-    /// Loads one benchmark, consulting the disk cache first.
+    /// Loads one benchmark through the process-default store (see
+    /// [`Store::default_handle`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchCtx::load_with`].
+    pub fn load(name: &'static str, scale: Scale) -> Result<BenchCtx, HarnessError> {
+        BenchCtx::load_with(name, scale, Arc::clone(Store::default_handle()))
+    }
+
+    /// Loads one benchmark, consulting `store` stage by stage: the trace,
+    /// the default-parameter profile, the all-heuristics table and the
+    /// single-threaded baseline are each served from the store when their
+    /// input closure matches, and stored after being computed otherwise.
     ///
     /// # Errors
     ///
     /// Returns [`HarnessError::Bench`] for an unknown name or a failed
     /// trace/baseline build.
-    pub fn load(name: &'static str, scale: Scale) -> Result<BenchCtx, HarnessError> {
+    pub fn load_with(
+        name: &'static str,
+        scale: Scale,
+        store: StoreHandle,
+    ) -> Result<BenchCtx, HarnessError> {
         let workload = specmt_workloads::by_name(name, scale).ok_or_else(|| {
             HarnessError::bench(
                 name,
@@ -182,22 +218,61 @@ impl BenchCtx {
                 },
             )
         })?;
-        let workload = match cache::load(workload, scale) {
-            Ok(parts) => return Ok(BenchCtx::new(parts.bench, parts.profile, parts.heuristics)),
-            Err(w) => w,
-        };
-        let bench = Bench::from_workload(workload).map_err(|e| HarnessError::bench(name, e))?;
-        let profile = bench.profile_table(&ProfileConfig::default());
-        let heuristics = bench.heuristic_table(HeuristicSet::all());
-        let baseline = bench
-            .baseline_cycles()
+        let label = format!("{name}-{}", format!("{scale:?}").to_lowercase());
+        let (bench, trace_key) = cache::bench_via_store(&store, workload, &label)
             .map_err(|e| HarnessError::bench(name, e))?;
-        cache::store(&bench, scale, baseline, &profile, &heuristics);
-        Ok(BenchCtx::new(bench, profile, heuristics))
+
+        let profile_cfg = ProfileConfig::default();
+        let pkey = trace_key.as_ref().map(|t| cache::profile_stage(t, &profile_cfg));
+        let profile = pkey
+            .as_ref()
+            .and_then(|k| store.get_json::<ProfileResult>(Namespace::Profile, &label, k))
+            .unwrap_or_else(|| {
+                let p = bench.profile_table(&profile_cfg);
+                if let Some(k) = &pkey {
+                    store.put_json(Namespace::Profile, &label, k, &p);
+                }
+                p
+            });
+
+        let hkey = trace_key
+            .as_ref()
+            .map(|t| cache::table_stage(t, "builtin/heuristics", &SchemeParams::default()));
+        let heuristics = hkey
+            .as_ref()
+            .and_then(|k| store.get_json::<SpawnTable>(Namespace::SpawnTable, &label, k))
+            .unwrap_or_else(|| {
+                let t = bench.heuristic_table(HeuristicSet::all());
+                if let Some(k) = &hkey {
+                    store.put_json(Namespace::SpawnTable, &label, k, &t);
+                }
+                t
+            });
+
+        let akey = trace_key.as_ref().map(cache::baseline_stage);
+        match akey
+            .as_ref()
+            .and_then(|k| store.get_json::<cache::BaselineDoc>(Namespace::Analysis, &label, k))
+        {
+            Some(doc) => bench.seed_baseline(doc.cycles),
+            None => {
+                let cycles = bench
+                    .baseline_cycles()
+                    .map_err(|e| HarnessError::bench(name, e))?;
+                if let Some(k) = &akey {
+                    store.put_json(Namespace::Analysis, &label, k, &cache::BaselineDoc { cycles });
+                }
+            }
+        }
+        Ok(BenchCtx::new(
+            bench, profile, heuristics, store, trace_key, label,
+        ))
     }
 
     /// The spawn table scheme `name` selects for this benchmark, resolved
-    /// through `registry` and memoized per context.
+    /// through `registry` and memoized per context. Schemes that declare a
+    /// cache identity (see [`SpawnScheme::cache_identity`]) are additionally
+    /// served from / stored to the artifact store.
     ///
     /// # Errors
     ///
@@ -212,9 +287,14 @@ impl BenchCtx {
         if let Some(t) = self.tables.lock().expect("table lock").get(name) {
             return Ok(Arc::clone(t));
         }
-        // Selection runs outside the lock: it can be expensive, and other
-        // schemes' lookups should not serialise behind it.
-        let table = Arc::new(registry.select(name, self.bench.trace(), params)?);
+        let scheme = registry.get(name).ok_or_else(|| SchemeError::UnknownScheme {
+            name: name.to_owned(),
+            known: registry.names().iter().map(|&n| n.to_owned()).collect(),
+        })?;
+        // Selection (and store I/O) runs outside the lock: it can be
+        // expensive, and other schemes' lookups should not serialise
+        // behind it.
+        let table = Arc::new(self.select_stored(scheme, params)?);
         let mut tables = self.tables.lock().expect("table lock");
         let entry = tables
             .entry(name.to_owned())
@@ -222,7 +302,59 @@ impl BenchCtx {
         Ok(Arc::clone(entry))
     }
 
-    /// Simulates this benchmark, naming it in any error.
+    /// As [`BenchCtx::table_for`] but unmemoized: parameter sweeps
+    /// (ablations) call this with varying `params`, and each variant is
+    /// store-addressed by its own key instead of fighting over the
+    /// per-name memo slot.
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchCtx::table_for`].
+    pub fn table_with_params(
+        &self,
+        name: &str,
+        registry: &SchemeRegistry,
+        params: &SchemeParams,
+    ) -> Result<SpawnTable, HarnessError> {
+        let scheme = registry.get(name).ok_or_else(|| SchemeError::UnknownScheme {
+            name: name.to_owned(),
+            known: registry.names().iter().map(|&n| n.to_owned()).collect(),
+        })?;
+        self.select_stored(scheme, params)
+    }
+
+    fn select_stored(
+        &self,
+        scheme: &dyn SpawnScheme,
+        params: &SchemeParams,
+    ) -> Result<SpawnTable, HarnessError> {
+        let skey = match (&self.trace_key, scheme.cache_identity()) {
+            (Some(t), Some(identity)) => Some(cache::table_stage(t, &identity, params)),
+            _ => None,
+        };
+        if let Some(k) = &skey {
+            if let Some(t) = self
+                .store
+                .get_json::<SpawnTable>(Namespace::SpawnTable, &self.label, k)
+            {
+                return Ok(t);
+            }
+        }
+        let table = scheme
+            .select(self.bench.trace(), params)
+            .map_err(HarnessError::Scheme)?;
+        if let Some(k) = &skey {
+            self.store
+                .put_json(Namespace::SpawnTable, &self.label, k, &table);
+        }
+        Ok(table)
+    }
+
+    /// Simulates this benchmark, naming it in any error. The result is
+    /// served from the store when the full input closure (trace, table
+    /// content, effective configuration, simulator revision) matches a
+    /// previous run; fault-injected runs bypass the store so chaos sweeps
+    /// never pollute it.
     ///
     /// # Errors
     ///
@@ -232,9 +364,26 @@ impl BenchCtx {
         if self.observe.load(Ordering::Relaxed) {
             config.observe = true;
         }
-        self.bench
+        let key = match (&self.trace_key, config.faults.is_some()) {
+            (Some(t), false) => Some(cache::sim_stage(t, table, &config)),
+            _ => None,
+        };
+        if let Some(k) = &key {
+            if let Some(r) = self
+                .store
+                .get_json::<SimResult>(Namespace::SimResult, &self.label, k)
+            {
+                return Ok(r);
+            }
+        }
+        let r = self
+            .bench
             .run(config, table)
-            .map_err(|e| HarnessError::bench(self.bench.name(), e))
+            .map_err(|e| HarnessError::bench(self.bench.name(), e))?;
+        if let Some(k) = &key {
+            self.store.put_json(Namespace::SimResult, &self.label, k, &r);
+        }
+        Ok(r)
     }
 
     /// Speed-up of `result` over the baseline, naming the benchmark in any
@@ -268,6 +417,8 @@ pub struct Harness {
     /// unbounded time and one worker per CPU; `specmt bench --jobs N
     /// --deadline SECS --max-retries K` overrides it.
     pub exec: ExecConfig,
+    /// The artifact store every context of this harness runs against.
+    pub store: StoreHandle,
 }
 
 /// Run a batch of fallible tasks under `exec` supervision and demand a
@@ -317,8 +468,9 @@ pub fn scale_from_env() -> Result<Scale, HarnessError> {
 
 impl Harness {
     /// Loads the whole suite at the `SPECMT_SCALE` scale, building traces
-    /// and spawn tables in parallel. Previously generated results are
-    /// restored from the disk cache (see [`cache`]) when available.
+    /// and spawn tables in parallel. Previously generated artifacts are
+    /// served from the process-default store (see [`Store::default_handle`]
+    /// and the [`cache`] module) when their input closure matches.
     ///
     /// # Errors
     ///
@@ -334,10 +486,26 @@ impl Harness {
     ///
     /// As [`Harness::load`].
     pub fn load_at(scale: Scale) -> Result<Harness, HarnessError> {
+        Harness::load_at_with(scale, Arc::clone(Store::default_handle()))
+    }
+
+    /// As [`Harness::load_at`] with an explicit artifact store — the
+    /// injection point tests and tools use to run against a private (or
+    /// disabled) store without touching process state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Harness::load`].
+    pub fn load_at_with(scale: Scale, store: StoreHandle) -> Result<Harness, HarnessError> {
         let exec = ExecConfig::default();
         let tasks = specmt_workloads::SUITE_NAMES
             .iter()
-            .map(|&name| Task::new(name, move || BenchCtx::load(name, scale)))
+            .map(|&name| {
+                let store = Arc::clone(&store);
+                Task::new(name, move || {
+                    BenchCtx::load_with(name, scale, Arc::clone(&store))
+                })
+            })
             .collect();
         let benches = run_supervised(&Executor::new(exec.clone()), tasks)?
             .into_iter()
@@ -349,6 +517,7 @@ impl Harness {
             registry: SchemeRegistry::builtin(),
             params: SchemeParams::default(),
             exec,
+            store,
         })
     }
 

@@ -10,6 +10,7 @@
 //!                 [--faults seed=N,squash=R,drop=R,corrupt=R,jitter=N,remove=R]
 //! specmt bench   <figure-id|all> [--scale S] [--json PATH] [--jobs N] [--deadline SECS] [--max-retries K]
 //! specmt bench   --list
+//! specmt cache   stats|clear|gc [--max-bytes N]
 //! specmt run     <file.s>
 //! ```
 //!
@@ -22,6 +23,12 @@
 //! entry of the paper's evaluation plus the extra studies; `bench all`
 //! regenerates every paper figure and persists machine-readable results
 //! under `target/specmt-results/`.
+//!
+//! `cache` manages the content-addressed artifact store `bench` runs
+//! against (`SPECMT_CACHE` / `SPECMT_CACHE_DIR` configure it, resolved once
+//! at startup): `stats` prints disk usage and the previous run's hit/miss
+//! counters, `clear` empties it, `gc --max-bytes N` evicts least-recently
+//! used entries down to a byte budget.
 
 use std::process::ExitCode;
 
@@ -30,6 +37,7 @@ use specmt::bench::Harness;
 use specmt::predict::ValuePredictorKind;
 use specmt::sim::{FaultPlan, SimConfig, Simulator};
 use specmt::spawn::{SchemeParams, SchemeRegistry, SpawnTable, BUILTIN_SCHEME_NAMES};
+use specmt::store::Store;
 use specmt::trace::Trace;
 use specmt::workloads::{Scale, SUITE_NAMES};
 
@@ -160,6 +168,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
         "bench" => &[
             "scale", "json", "list", "metrics", "jobs", "deadline", "max-retries",
         ],
+        "cache" => &["max-bytes"],
         _ => &[],
     })?;
 
@@ -332,6 +341,27 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
                 fig.print();
             }
             eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
+            let store_metrics = h.store.metrics();
+            if h.store.enabled() {
+                let sum = |suffix: &str| -> u64 {
+                    store_metrics
+                        .counters
+                        .iter()
+                        .filter(|c| c.name.ends_with(suffix))
+                        .map(|c| c.value)
+                        .sum()
+                };
+                eprintln!(
+                    "store: {} hits, {} misses, {} writes, {} invalidations ({})",
+                    sum("_hits"),
+                    sum("_misses"),
+                    sum("_stores"),
+                    sum("_invalidations"),
+                    h.store.config().dir.display()
+                );
+                // Make this run's counters readable by `specmt cache stats`.
+                h.store.persist_last_run();
+            }
             if let Some(mode) = args.flag("metrics") {
                 write_metrics(&h, mode)?;
             }
@@ -340,6 +370,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
                     "scale": format!("{:?}", h.scale).to_lowercase(),
                     "target": target,
                     "figures": outcome.summary,
+                    "store": serde::Serialize::to_value(&store_metrics),
                 });
                 std::fs::write(path, serde_json::to_string_pretty(&doc)? + "\n")?;
                 eprintln!("wrote {path}");
@@ -348,6 +379,69 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
             // that could be produced was produced and recorded.
             if let Some((id, e)) = outcome.errors.into_iter().next() {
                 return Err(format!("figure `{id}` failed: {e}").into());
+            }
+        }
+        "cache" => {
+            let action = input.ok_or("cache needs an action: stats, clear, or gc")?;
+            let store = Store::default_handle();
+            match action {
+                "stats" => {
+                    let cfg = store.config();
+                    println!(
+                        "store {} ({})",
+                        cfg.dir.display(),
+                        if cfg.enabled { "enabled" } else { "disabled" }
+                    );
+                    println!("{:<12} {:>8} {:>14}", "namespace", "entries", "bytes");
+                    let (mut entries, mut bytes) = (0u64, 0u64);
+                    for u in store.usage() {
+                        entries += u.entries;
+                        bytes += u.bytes;
+                        println!("{:<12} {:>8} {:>14}", u.namespace, u.entries, u.bytes);
+                    }
+                    println!("{:<12} {:>8} {:>14}", "total", entries, bytes);
+                    match store.load_last_run() {
+                        Some(run) => {
+                            println!("last run:");
+                            for c in &run.metrics.counters {
+                                if c.value > 0 {
+                                    println!("  {:<36} {:>8}", c.name, c.value);
+                                }
+                            }
+                            for r in &run.invalidations {
+                                println!(
+                                    "  invalidated {}/{} at stage `{}`: changed {}",
+                                    r.namespace,
+                                    r.name,
+                                    r.stage,
+                                    r.changed.join(", ")
+                                );
+                            }
+                        }
+                        None => println!("last run: no recorded stats (run `specmt bench` first)"),
+                    }
+                }
+                "clear" => {
+                    store.clear()?;
+                    println!("cleared {}", store.config().dir.display());
+                }
+                "gc" => {
+                    let raw = args.flag("max-bytes").ok_or("gc needs --max-bytes <N>")?;
+                    let max: u64 = raw
+                        .parse()
+                        .map_err(|_| format!("invalid --max-bytes `{raw}` (expected a byte count)"))?;
+                    let report = store.gc(max);
+                    println!(
+                        "gc: removed {} entries ({} bytes), {} bytes kept",
+                        report.removed_entries, report.removed_bytes, report.kept_bytes
+                    );
+                }
+                other => {
+                    return Err(format!(
+                        "unknown cache action `{other}` (expected stats, clear, or gc)"
+                    )
+                    .into())
+                }
             }
         }
         "run" => {
@@ -410,7 +504,7 @@ fn write_metrics(h: &Harness, mode: &str) -> Result<(), Box<dyn std::error::Erro
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy <scheme>|none]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N] [--faults seed=N,squash=R,...]\n  specmt bench <figure-id|all> [--scale S] [--json PATH] [--metrics json|chrome] [--jobs N] [--deadline SECS] [--max-retries K]\n  specmt bench --list\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file\nschemes: {}",
+        "usage:\n  specmt list [--scale S]\n  specmt disasm <input>\n  specmt trace <input> --out f.smtr\n  specmt pairs <input> [--policy <scheme>|none]\n  specmt simulate <input> [--policy P] [--tus N] [--vp V] [--overhead N] [--min-size N] [--faults seed=N,squash=R,...]\n  specmt bench <figure-id|all> [--scale S] [--json PATH] [--metrics json|chrome] [--jobs N] [--deadline SECS] [--max-retries K]\n  specmt bench --list\n  specmt cache stats|clear|gc [--max-bytes N]\n  specmt run <file.s>\n\ninputs: a suite workload name, a saved .smtr trace, or an .s assembly file\nschemes: {}",
         BUILTIN_SCHEME_NAMES.join(", ")
     );
 }

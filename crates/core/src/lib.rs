@@ -23,6 +23,7 @@
 //! | [`obs`] | `specmt-obs` | lifecycle events, metrics, Chrome trace export, conservation-law auditor |
 //! | [`sim`] | `specmt-sim` | the CSMP timing model |
 //! | [`exec`] | `specmt-exec` | supervised batch executor: panic isolation, deadlines, retries |
+//! | [`store`] | `specmt-store` | content-addressed artifact store: stage keys, incremental recomputation |
 //! | [`stats`] | `specmt-stats` | means, tables, charts |
 //! | [`bench`] | `specmt-bench` | [`Bench`], the suite [`bench::Harness`], experiment specs, the figure registry |
 //!
@@ -55,6 +56,7 @@ pub use specmt_predict as predict;
 pub use specmt_sim as sim;
 pub use specmt_spawn as spawn;
 pub use specmt_stats as stats;
+pub use specmt_store as store;
 pub use specmt_trace as trace;
 pub use specmt_workloads as workloads;
 

@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use specmt_predict::ValuePredictorKind;
+use specmt_store::{Fingerprint, FingerprintHasher};
 
 use crate::{FaultPlan, SimError};
 
@@ -136,6 +137,65 @@ pub struct SimConfig {
     /// never changes the simulated timing or statistics (a tested
     /// invariant).
     pub observe: bool,
+}
+
+impl Fingerprint for CacheConfig {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("CacheConfig");
+        h.u64(self.size_bytes as u64);
+        h.u64(self.ways as u64);
+        h.u64(self.block_bytes as u64);
+        h.u64(self.hit_latency);
+        h.u64(self.miss_latency);
+        h.u64(self.mshrs as u64);
+    }
+}
+
+impl Fingerprint for RemovalPolicy {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("RemovalPolicy");
+        h.u64(self.alone_cycles);
+        h.u64(u64::from(self.occurrences));
+        self.reinstate_after.fingerprint(h);
+        h.u64(u64::from(self.max_companions));
+    }
+}
+
+/// The fingerprint covers every field that can alter simulated timing or
+/// statistics — including `observe`, because the metrics snapshot rides on
+/// the `SimResult` an entry stores, and `faults`, so chaos runs can never
+/// alias a faultless entry. The value-predictor kind is hashed as a stable
+/// name (it is a foreign type, so it cannot implement [`Fingerprint`]
+/// itself).
+impl Fingerprint for SimConfig {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("SimConfig");
+        h.u64(self.thread_units as u64);
+        h.u64(u64::from(self.fetch_width));
+        h.u64(self.issue_width as u64);
+        h.u64(self.rob_entries as u64);
+        h.u64(self.phys_regs as u64);
+        h.u64(self.mispredict_penalty);
+        h.u64(u64::from(self.gshare_bits));
+        self.cache.fingerprint(h);
+        h.str(match self.value_predictor {
+            ValuePredictorKind::Perfect => "perfect",
+            ValuePredictorKind::LastValue => "last-value",
+            ValuePredictorKind::Stride => "stride",
+            ValuePredictorKind::Fcm => "fcm",
+            ValuePredictorKind::Hybrid => "hybrid",
+            ValuePredictorKind::None => "none",
+        });
+        h.u64(self.predictor_budget as u64);
+        h.u64(self.init_overhead);
+        h.u64(self.forward_latency);
+        h.u64(self.squash_penalty);
+        self.removal.fingerprint(h);
+        h.bool(self.reassign);
+        self.min_observed_size.fingerprint(h);
+        self.faults.fingerprint(h);
+        h.bool(self.observe);
+    }
 }
 
 impl SimConfig {

@@ -63,6 +63,18 @@ serde::impl_serde_struct!(FaultPlan {
     remove_pair_rate,
 });
 
+impl specmt_store::Fingerprint for FaultPlan {
+    fn fingerprint(&self, h: &mut specmt_store::FingerprintHasher) {
+        h.struct_tag("FaultPlan");
+        h.u64(self.seed);
+        h.f64(self.squash_rate);
+        h.f64(self.drop_spawn_rate);
+        h.f64(self.corrupt_value_rate);
+        h.u64(self.cache_jitter);
+        h.f64(self.remove_pair_rate);
+    }
+}
+
 impl FaultPlan {
     /// An inactive plan carrying only a seed (useful as a parse/merge base).
     pub fn with_seed(seed: u64) -> FaultPlan {

@@ -81,6 +81,12 @@ mod error;
 mod faults;
 mod result;
 
+/// Code revision of the timing model, a component of every
+/// simresult-namespace store key. Bump on any change that alters cycle
+/// counts or statistics for identical inputs (the golden differential
+/// suites define "identical"); forgetting to bump serves stale results.
+pub const CODE_REV: u32 = 1;
+
 pub use cache::L1Cache;
 pub use config::{CacheConfig, ConfigDelta, RemovalPolicy, SimConfig};
 pub use engine::Simulator;

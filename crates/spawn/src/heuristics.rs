@@ -1,6 +1,7 @@
 //! Construct-based spawning heuristics (the paper's comparison baselines).
 
 use specmt_isa::{Pc, Program};
+use specmt_store::{Fingerprint, FingerprintHasher};
 
 use crate::{PairOrigin, SpawnPair, SpawnTable};
 
@@ -16,6 +17,15 @@ pub struct HeuristicSet {
     pub loop_continuation: bool,
     /// Spawn the return point from every subroutine call.
     pub subroutine_continuation: bool,
+}
+
+impl Fingerprint for HeuristicSet {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("HeuristicSet");
+        h.bool(self.loop_iteration);
+        h.bool(self.loop_continuation);
+        h.bool(self.subroutine_continuation);
+    }
 }
 
 impl HeuristicSet {

@@ -54,6 +54,11 @@ mod profile;
 mod returns;
 pub mod scheme;
 
+/// Code revision of the pair-selection stage, a component of profile- and
+/// spawn-table-namespace store keys. Bump when any selector's output
+/// changes for identical inputs (new tie-breaks, scoring tweaks, ...).
+pub const CODE_REV: u32 = 1;
+
 pub use heuristics::{heuristic_pairs, HeuristicSet};
 pub use memslice::{memslice_pairs, MemSliceConfig};
 pub use pair::{PairOrigin, SpawnPair, SpawnTable};

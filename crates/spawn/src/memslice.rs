@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use specmt_isa::Pc;
+use specmt_store::{Fingerprint, FingerprintHasher};
 use specmt_trace::Trace;
 
 use crate::{PairOrigin, SpawnPair, SpawnTable};
@@ -39,6 +40,16 @@ impl Default for MemSliceConfig {
             min_prob: 0.95,
             min_occurrences: 16,
         }
+    }
+}
+
+impl Fingerprint for MemSliceConfig {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("MemSliceConfig");
+        h.f64(self.target_size);
+        h.f64(self.tolerance);
+        h.f64(self.min_prob);
+        h.u64(self.min_occurrences);
     }
 }
 

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use specmt_isa::Pc;
+use specmt_store::{Fingerprint, FingerprintHasher};
 
 /// How a spawning pair was selected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +102,45 @@ impl serde::Deserialize for SpawnTable {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let pairs = <Vec<SpawnPair> as serde::Deserialize>::from_value(v)?;
         Ok(SpawnTable::from_pairs(pairs))
+    }
+}
+
+impl Fingerprint for PairOrigin {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.str(match self {
+            PairOrigin::Profile => "profile",
+            PairOrigin::ReturnPair => "return-pair",
+            PairOrigin::LoopIteration => "loop-iteration",
+            PairOrigin::LoopContinuation => "loop-continuation",
+            PairOrigin::SubroutineContinuation => "subroutine-continuation",
+            PairOrigin::MemSlice => "mem-slice",
+        });
+    }
+}
+
+impl Fingerprint for SpawnPair {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("SpawnPair");
+        h.u64(u64::from(self.sp.0));
+        h.u64(u64::from(self.cqip.0));
+        h.f64(self.prob);
+        h.f64(self.avg_dist);
+        h.f64(self.score);
+        self.origin.fingerprint(h);
+    }
+}
+
+// A table's fingerprint covers its full content in its deterministic
+// (BTreeMap) order, so simulation results keyed on an *ad-hoc* table —
+// ablation sweeps, custom schemes, hand-merged tables — are addressed by
+// what the table actually contains, not by how it was produced.
+impl Fingerprint for SpawnTable {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("SpawnTable");
+        h.seq(self.num_pairs());
+        for p in self.iter() {
+            p.fingerprint(h);
+        }
     }
 }
 

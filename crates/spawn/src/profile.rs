@@ -1,6 +1,7 @@
 //! The profile-based spawning-pair selector (§3.1).
 
 use specmt_analysis::{BasicBlocks, BlockStream, DynCfg, ReachingAnalysis};
+use specmt_store::{Fingerprint, FingerprintHasher};
 use specmt_trace::{DepGraph, Trace, NO_PRODUCER};
 
 use crate::{return_pairs, PairOrigin, SpawnPair, SpawnTable};
@@ -64,6 +65,30 @@ impl Default for ProfileConfig {
             dep_samples: 4,
             max_score_window: 2048,
         }
+    }
+}
+
+impl Fingerprint for OrderCriterion {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.str(match self {
+            OrderCriterion::MaxDistance => "max-distance",
+            OrderCriterion::Independent => "independent",
+            OrderCriterion::Predictable => "predictable",
+        });
+    }
+}
+
+impl Fingerprint for ProfileConfig {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("ProfileConfig");
+        h.f64(self.min_prob);
+        h.f64(self.min_distance);
+        self.max_distance.fingerprint(h);
+        h.f64(self.coverage);
+        self.criterion.fingerprint(h);
+        h.bool(self.include_return_pairs);
+        h.u64(self.dep_samples as u64);
+        h.u64(self.max_score_window as u64);
     }
 }
 

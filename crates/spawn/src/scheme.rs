@@ -58,6 +58,7 @@
 //! # Ok::<(), specmt_spawn::SchemeError>(())
 //! ```
 
+use specmt_store::{Fingerprint, FingerprintHasher};
 use specmt_trace::Trace;
 
 use crate::{
@@ -78,6 +79,14 @@ pub struct SchemeParams {
     pub profile: ProfileConfig,
     /// Configuration of the MEM-slicing baseline.
     pub memslice: MemSliceConfig,
+}
+
+impl Fingerprint for SchemeParams {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("SchemeParams");
+        self.profile.fingerprint(h);
+        self.memslice.fingerprint(h);
+    }
 }
 
 /// Errors from scheme resolution and selection.
@@ -144,6 +153,18 @@ pub trait SpawnScheme: Send + Sync + std::fmt::Debug {
     /// Returns [`SchemeError::SelectionFailed`] if the scheme cannot produce
     /// a table (built-in schemes are infallible).
     fn select(&self, trace: &Trace, params: &SchemeParams) -> Result<SpawnTable, SchemeError>;
+
+    /// A stable identity string for content-addressed caching of this
+    /// scheme's tables, or `None` if tables must never be cached.
+    ///
+    /// `None` — the default — is the safe answer: the store cannot see a
+    /// custom scheme's internal state, so caching is strictly opt-in. A
+    /// scheme that returns `Some(id)` promises that `select` is a pure
+    /// function of `(trace, params, id)`; change the string (e.g. a `/v2`
+    /// suffix) whenever selection semantics change.
+    fn cache_identity(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The profile-based family (§3.1), one instance per CQIP ordering
@@ -178,6 +199,10 @@ impl SpawnScheme for ProfileScheme {
         };
         Ok(profile_pairs(trace, &config).table)
     }
+
+    fn cache_identity(&self) -> Option<String> {
+        Some(format!("builtin/{}", self.name()))
+    }
 }
 
 /// The construct-based heuristics, individually and combined.
@@ -200,6 +225,12 @@ impl SpawnScheme for HeuristicScheme {
     fn select(&self, trace: &Trace, _: &SchemeParams) -> Result<SpawnTable, SchemeError> {
         Ok(heuristic_pairs(trace.program(), self.set))
     }
+
+    // The heuristic set is a pure function of the scheme name, so the name
+    // alone identifies selection.
+    fn cache_identity(&self) -> Option<String> {
+        Some(format!("builtin/{}", self.name))
+    }
 }
 
 /// The MEM-slicing baseline (Codrescu & Wills).
@@ -217,6 +248,10 @@ impl SpawnScheme for MemSliceScheme {
 
     fn select(&self, trace: &Trace, params: &SchemeParams) -> Result<SpawnTable, SchemeError> {
         Ok(memslice_pairs(trace, &params.memslice))
+    }
+
+    fn cache_identity(&self) -> Option<String> {
+        Some("builtin/memslice".to_owned())
     }
 }
 
@@ -237,6 +272,10 @@ impl SpawnScheme for ReturnPairScheme {
     fn select(&self, trace: &Trace, params: &SchemeParams) -> Result<SpawnTable, SchemeError> {
         let (pairs, _) = return_pairs(trace, params.profile.min_distance);
         Ok(SpawnTable::from_pairs(pairs))
+    }
+
+    fn cache_identity(&self) -> Option<String> {
+        Some("builtin/return-pairs".to_owned())
     }
 }
 
@@ -497,6 +536,20 @@ mod tests {
             }
             Ok(merged)
         }
+    }
+
+    #[test]
+    fn builtins_are_cacheable_custom_schemes_are_not() {
+        let r = SchemeRegistry::builtin();
+        for s in r.iter() {
+            assert_eq!(
+                s.cache_identity().as_deref(),
+                Some(format!("builtin/{}", s.name()).as_str())
+            );
+        }
+        // Custom schemes default to uncacheable: the store cannot see
+        // their internal state.
+        assert_eq!(Everything.cache_identity(), None);
     }
 
     #[test]

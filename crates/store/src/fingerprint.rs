@@ -1,0 +1,435 @@
+//! Stable structural fingerprints.
+//!
+//! A [`StoreKey`] is a 128-bit digest of an artifact's *input closure*: every
+//! value that can change the artifact's bytes feeds the hasher through the
+//! [`Fingerprint`] trait. The digest must be stable across processes, Rust
+//! releases and platforms — it is written into file names on disk — so the
+//! core is a hand-rolled SipHash-2-4 with two fixed 128-bit keys (one per
+//! output half), not `std::hash::DefaultHasher` (whose algorithm is
+//! explicitly unspecified and has changed between Rust versions).
+//!
+//! ## Domain separation
+//!
+//! Every write is tagged and length-prefixed, so structurally different
+//! values never produce the same byte stream: `("ab", "c")` and
+//! `("a", "bc")` hash differently, `Some(0u64)` differs from `None`
+//! followed by `0u64`, and a `u64` differs from an `f64` with the same bit
+//! pattern. Floats hash their IEEE-754 bit pattern (`f64::to_bits`), which
+//! distinguishes `0.0` from `-0.0` — fine for keying: the cost of treating
+//! them as distinct inputs is at worst one redundant recomputation.
+
+/// A stable 128-bit content digest, the unit of store addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoreKey(pub u128);
+
+impl StoreKey {
+    /// The canonical 32-hex-digit rendering used in file names.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`StoreKey::hex`] rendering back.
+    pub fn from_hex(s: &str) -> Option<StoreKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(StoreKey)
+    }
+}
+
+impl std::fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// One streaming SipHash-2-4 instance (64-bit output).
+#[derive(Clone)]
+struct Sip24 {
+    v0: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    /// Bytes not yet forming a full 8-byte block, little-endian packed.
+    buf: u64,
+    /// Number of valid bytes in `buf` (0..8).
+    buf_len: u32,
+    /// Total bytes written, for the length byte in the final block.
+    len: u64,
+}
+
+impl Sip24 {
+    fn new(k0: u64, k1: u64) -> Sip24 {
+        Sip24 {
+            v0: k0 ^ 0x736f_6d65_7073_6575,
+            v1: k1 ^ 0x646f_7261_6e64_6f6d,
+            v2: k0 ^ 0x6c79_6765_6e65_7261,
+            v3: k1 ^ 0x7465_6462_7974_6573,
+            buf: 0,
+            buf_len: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn round(&mut self) {
+        self.v0 = self.v0.wrapping_add(self.v1);
+        self.v1 = self.v1.rotate_left(13);
+        self.v1 ^= self.v0;
+        self.v0 = self.v0.rotate_left(32);
+        self.v2 = self.v2.wrapping_add(self.v3);
+        self.v3 = self.v3.rotate_left(16);
+        self.v3 ^= self.v2;
+        self.v0 = self.v0.wrapping_add(self.v3);
+        self.v3 = self.v3.rotate_left(21);
+        self.v3 ^= self.v0;
+        self.v2 = self.v2.wrapping_add(self.v1);
+        self.v1 = self.v1.rotate_left(17);
+        self.v1 ^= self.v2;
+        self.v2 = self.v2.rotate_left(32);
+    }
+
+    #[inline]
+    fn block(&mut self, m: u64) {
+        self.v3 ^= m;
+        self.round();
+        self.round();
+        self.v0 ^= m;
+    }
+
+    fn write(&mut self, mut bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        // Top up a partial block first.
+        while self.buf_len > 0 && self.buf_len < 8 && !bytes.is_empty() {
+            self.buf |= u64::from(bytes[0]) << (8 * self.buf_len);
+            self.buf_len += 1;
+            bytes = &bytes[1..];
+        }
+        if self.buf_len == 8 {
+            let m = self.buf;
+            self.block(m);
+            self.buf = 0;
+            self.buf_len = 0;
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut m = [0u8; 8];
+            m.copy_from_slice(chunk);
+            self.block(u64::from_le_bytes(m));
+        }
+        for &b in chunks.remainder() {
+            self.buf |= u64::from(b) << (8 * self.buf_len);
+            self.buf_len += 1;
+        }
+    }
+
+    fn finish(mut self) -> u64 {
+        let m = self.buf | (self.len & 0xff) << 56;
+        self.block(m);
+        self.v2 ^= 0xff;
+        self.round();
+        self.round();
+        self.round();
+        self.round();
+        self.v0 ^ self.v1 ^ self.v2 ^ self.v3
+    }
+}
+
+/// Streaming hasher that values write themselves into via [`Fingerprint`].
+///
+/// Two independently-keyed SipHash-2-4 instances run over the same tagged
+/// byte stream; their outputs form the two halves of the final 128-bit
+/// [`StoreKey`].
+pub struct FingerprintHasher {
+    lo: Sip24,
+    hi: Sip24,
+}
+
+// Field tags, one per primitive write shape. Each write is `tag` followed by
+// a fixed-width or length-prefixed payload, so the byte stream parses
+// unambiguously and structurally different values cannot collide by
+// concatenation.
+const TAG_U64: u8 = 0x01;
+const TAG_I64: u8 = 0x02;
+const TAG_F64: u8 = 0x03;
+const TAG_BOOL: u8 = 0x04;
+const TAG_BYTES: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_NONE: u8 = 0x07;
+const TAG_SOME: u8 = 0x08;
+const TAG_SEQ: u8 = 0x09;
+const TAG_STRUCT: u8 = 0x0a;
+
+impl FingerprintHasher {
+    /// A fresh hasher with the store's fixed keys.
+    pub fn new() -> FingerprintHasher {
+        // Arbitrary fixed keys ("specmt-store-lo/hi" as bytes). Changing
+        // them invalidates every store on disk, which is safe but wasteful;
+        // don't.
+        FingerprintHasher {
+            lo: Sip24::new(0x7370_6563_6d74_2d73, 0x746f_7265_2d6c_6f21),
+            hi: Sip24::new(0x7370_6563_6d74_2d73, 0x746f_7265_2d68_6921),
+        }
+    }
+
+    #[inline]
+    fn raw(&mut self, bytes: &[u8]) {
+        self.lo.write(bytes);
+        self.hi.write(bytes);
+    }
+
+    /// Writes an unsigned integer (all widths funnel through `u64`).
+    pub fn u64(&mut self, v: u64) {
+        self.raw(&[TAG_U64]);
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// Writes a signed integer.
+    pub fn i64(&mut self, v: i64) {
+        self.raw(&[TAG_I64]);
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// Writes a float as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.raw(&[TAG_F64]);
+        self.raw(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a bool.
+    pub fn bool(&mut self, v: bool) {
+        self.raw(&[TAG_BOOL, u8::from(v)]);
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.raw(&[TAG_BYTES]);
+        self.raw(&(v.len() as u64).to_le_bytes());
+        self.raw(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.raw(&[TAG_STR]);
+        self.raw(&(v.len() as u64).to_le_bytes());
+        self.raw(v.as_bytes());
+    }
+
+    /// Marks an absent optional value.
+    pub fn none(&mut self) {
+        self.raw(&[TAG_NONE]);
+    }
+
+    /// Marks a present optional value; the caller writes the payload next.
+    pub fn some(&mut self) {
+        self.raw(&[TAG_SOME]);
+    }
+
+    /// Opens a sequence of `len` elements; the caller writes each next.
+    pub fn seq(&mut self, len: usize) {
+        self.raw(&[TAG_SEQ]);
+        self.raw(&(len as u64).to_le_bytes());
+    }
+
+    /// Tags a struct by name, separating types that share a field layout.
+    pub fn struct_tag(&mut self, name: &str) {
+        self.raw(&[TAG_STRUCT]);
+        self.raw(&(name.len() as u64).to_le_bytes());
+        self.raw(name.as_bytes());
+    }
+
+    /// Consumes the hasher into its 128-bit digest.
+    pub fn finish(self) -> StoreKey {
+        let lo = self.lo.finish();
+        let hi = self.hi.finish();
+        StoreKey((u128::from(hi) << 64) | u128::from(lo))
+    }
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        FingerprintHasher::new()
+    }
+}
+
+/// A value that contributes to a store key.
+///
+/// Implementations must write **every** field that can change the artifact
+/// the key addresses, and should open with
+/// [`FingerprintHasher::struct_tag`] so two types with identical field
+/// layouts stay distinct. Stability matters: reordering or renaming writes
+/// changes every downstream key (a full store invalidation — safe, but
+/// equivalent to the "bump the version" escape hatch this trait replaces).
+pub trait Fingerprint {
+    /// Writes this value's structural content into `h`.
+    fn fingerprint(&self, h: &mut FingerprintHasher);
+
+    /// This value's digest on a fresh hasher.
+    fn digest(&self) -> StoreKey {
+        let mut h = FingerprintHasher::new();
+        self.fingerprint(&mut h);
+        h.finish()
+    }
+}
+
+macro_rules! impl_uint_fingerprint {
+    ($($t:ty),*) => {$(
+        impl Fingerprint for $t {
+            fn fingerprint(&self, h: &mut FingerprintHasher) {
+                h.u64(u64::from(*self));
+            }
+        }
+    )*};
+}
+impl_uint_fingerprint!(u8, u16, u32, u64);
+
+impl Fingerprint for usize {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.u64(*self as u64);
+    }
+}
+
+impl Fingerprint for i64 {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.i64(*self);
+    }
+}
+
+impl Fingerprint for f64 {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.f64(*self);
+    }
+}
+
+impl Fingerprint for bool {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.bool(*self);
+    }
+}
+
+impl Fingerprint for str {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.str(self);
+    }
+}
+
+impl Fingerprint for String {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.str(self);
+    }
+}
+
+impl Fingerprint for [u8] {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.bytes(self);
+    }
+}
+
+impl<T: Fingerprint + ?Sized> Fingerprint for &T {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        (**self).fingerprint(h);
+    }
+}
+
+impl<T: Fingerprint> Fingerprint for Option<T> {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        match self {
+            None => h.none(),
+            Some(v) => {
+                h.some();
+                v.fingerprint(h);
+            }
+        }
+    }
+}
+
+impl<T: Fingerprint> Fingerprint for Vec<T> {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.seq(self.len());
+        for v in self {
+            v.fingerprint(h);
+        }
+    }
+}
+
+impl Fingerprint for StoreKey {
+    fn fingerprint(&self, h: &mut FingerprintHasher) {
+        h.struct_tag("StoreKey");
+        h.u64(self.0 as u64);
+        h.u64((self.0 >> 64) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference 64-bit SipHash-2-4 test vector from the SipHash paper
+    /// (Aumasson & Bernstein): key 000102…0f, input 000102…0e.
+    #[test]
+    fn sip24_matches_reference_vector() {
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let msg: Vec<u8> = (0u8..15).collect();
+        let mut s = Sip24::new(k0, k1);
+        s.write(&msg);
+        assert_eq!(s.finish(), 0xa129_ca61_49be_45e5);
+    }
+
+    #[test]
+    fn sip24_split_writes_match_one_write() {
+        let msg: Vec<u8> = (0u8..=200).collect();
+        let mut whole = Sip24::new(1, 2);
+        whole.write(&msg);
+        let mut split = Sip24::new(1, 2);
+        for chunk in msg.chunks(3) {
+            split.write(chunk);
+        }
+        assert_eq!(whole.finish(), split.finish());
+    }
+
+    /// The digest is pinned: it lands in on-disk file names, so an
+    /// accidental algorithm change must fail loudly here rather than
+    /// silently orphan every store on every machine.
+    #[test]
+    fn digest_is_pinned_across_builds() {
+        let mut h = FingerprintHasher::new();
+        h.struct_tag("pin");
+        h.u64(42);
+        h.f64(0.95);
+        h.str("profile");
+        assert_eq!(
+            h.finish().hex(),
+            "44d92104cce687ec40246ca57676ff34",
+            "stable-hash contract broken: this invalidates every store on disk"
+        );
+    }
+
+    #[test]
+    fn domain_separation_between_adjacent_strings() {
+        let mut a = FingerprintHasher::new();
+        a.str("ab");
+        a.str("c");
+        let mut b = FingerprintHasher::new();
+        b.str("a");
+        b.str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn domain_separation_between_types() {
+        assert_ne!(1.0f64.digest(), 1.0f64.to_bits().digest());
+        assert_ne!(Some(0u64).digest(), 0u64.digest());
+        assert_ne!(None::<u64>.digest(), 0u64.digest());
+        assert_ne!(vec![1u64, 2].digest(), vec![2u64, 1].digest());
+        assert_ne!(true.digest(), 1u64.digest());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let k = StoreKey(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+        assert_eq!(StoreKey::from_hex(&k.hex()), Some(k));
+        assert_eq!(StoreKey::from_hex("xyz"), None);
+        assert_eq!(StoreKey::from_hex(""), None);
+    }
+}

@@ -53,6 +53,13 @@ mod io;
 mod memory;
 mod record;
 
+/// Code revision of the trace-generation stage, a component of every
+/// trace-namespace store key (see `specmt-store`). Bump when the emulator
+/// or trace recording *semantics* change — i.e. when an identical program
+/// would now produce a different trace — so stored traces miss cleanly
+/// instead of requiring a workspace version bump.
+pub const CODE_REV: u32 = 1;
+
 pub use deps::LiveIn;
 pub use deps::{DepGraph, NO_PRODUCER};
 pub use emulator::{Emulator, StepOutcome};

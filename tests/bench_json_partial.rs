@@ -10,6 +10,7 @@
 use serde_json::Value;
 use specmt::bench::figures::{self, FigureDef, FigureGroup};
 use specmt::bench::{Harness, HarnessError};
+use specmt::store::Store;
 use specmt::workloads::Scale;
 
 fn str_field<'v>(v: &'v Value, key: &str) -> &'v str {
@@ -21,10 +22,10 @@ fn str_field<'v>(v: &'v Value, key: &str) -> &'v str {
 
 #[test]
 fn failing_figure_keeps_partial_results_in_the_summary() {
-    // Bypass the disk cache so this test neither depends on nor pollutes
-    // shared state.
-    std::env::set_var("SPECMT_CACHE", "off");
-    let h = Harness::load_at(Scale::Tiny).expect("suite loads at tiny scale");
+    // Run against a disabled store so this test neither depends on nor
+    // pollutes shared state.
+    let h = Harness::load_at_with(Scale::Tiny, Store::disabled())
+        .expect("suite loads at tiny scale");
 
     let boom = FigureDef {
         id: "boom",

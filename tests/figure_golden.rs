@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 
 use specmt::bench::{figures, Harness};
+use specmt::store::Store;
 use specmt::workloads::Scale;
 
 const GOLDEN: &str = include_str!("golden/figures_tiny.txt");
@@ -47,10 +48,11 @@ fn blocks(text: &str) -> BTreeMap<String, String> {
 
 #[test]
 fn every_paper_figure_matches_golden_output() {
-    // The cache lives under the package directory during tests; bypass it
-    // so this test neither depends on nor pollutes shared state.
-    std::env::set_var("SPECMT_CACHE", "off");
-    let h = Harness::load_at(Scale::Tiny).expect("suite loads at tiny scale");
+    // Run against a disabled store so this test neither depends on nor
+    // pollutes shared state (tests/store_golden_differential.rs covers the
+    // store-on path against the same capture).
+    let h = Harness::load_at_with(Scale::Tiny, Store::disabled())
+        .expect("suite loads at tiny scale");
     let figs = figures::all(&h).expect("all figures build");
 
     let golden = blocks(GOLDEN);

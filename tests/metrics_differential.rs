@@ -20,6 +20,7 @@ use specmt::obs::EventLog;
 use specmt::predict::ValuePredictorKind;
 use specmt::sim::{FaultPlan, SimConfig, SimResult, Simulator};
 use specmt::spawn::{profile_pairs, ProfileConfig};
+use specmt::store::Store;
 use specmt::trace::Trace;
 use specmt::workloads::Scale;
 
@@ -47,10 +48,10 @@ fn registry_output(h: &Harness) -> (Vec<String>, Vec<(String, String)>) {
 
 #[test]
 fn figure_registry_is_bit_identical_with_observation_on() {
-    // Bypass the disk cache so this test neither depends on nor pollutes
-    // shared state (same discipline as figure_golden.rs).
-    std::env::set_var("SPECMT_CACHE", "off");
-    let h = Harness::load_at(Scale::Tiny).expect("suite loads at tiny scale");
+    // Run against a disabled store so this test neither depends on nor
+    // pollutes shared state (same discipline as figure_golden.rs).
+    let h = Harness::load_at_with(Scale::Tiny, Store::disabled())
+        .expect("suite loads at tiny scale");
 
     let (summary_off, blocks_off) = registry_output(&h);
     h.set_observe(true);

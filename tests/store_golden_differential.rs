@@ -1,0 +1,106 @@
+//! The store-on/store-off differential, pinned to the committed golden
+//! capture: a cold run that *populates* a fresh store and a warm run served
+//! *from* that store must both render every figure bit-identically to the
+//! store-off capture in `tests/golden/figures_tiny.txt` (the same file
+//! `figure_golden.rs` checks against a disabled store). Equality of both
+//! passes against the same capture proves store-on ≡ store-off by
+//! transitivity, without a third full pipeline pass.
+//!
+//! The warm pass additionally asserts its store-hit counters cover every
+//! namespace with zero misses — i.e. the store really served everything,
+//! rather than silently recomputing identical results.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::sync::Arc;
+
+use specmt::bench::{figures, Harness};
+use specmt::store::{Namespace, Store, StoreConfig, StoreHandle};
+use specmt::workloads::Scale;
+
+const GOLDEN: &str = include_str!("golden/figures_tiny.txt");
+
+fn blocks(text: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for raw in text.split("=== ") {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let id = raw
+            .split_whitespace()
+            .next()
+            .expect("block starts with an id")
+            .to_owned();
+        out.insert(id, format!("=== {raw}"));
+    }
+    out
+}
+
+fn render_all(store: StoreHandle) -> BTreeMap<String, String> {
+    let h = Harness::load_at_with(Scale::Tiny, store).expect("suite loads at tiny scale");
+    let figs = figures::all(&h).expect("all figures build");
+    figs.iter()
+        .map(|f| (f.id.clone(), f.render_block()))
+        .collect()
+}
+
+fn assert_matches_golden(pass: &str, rendered: &BTreeMap<String, String>) {
+    let golden = blocks(GOLDEN);
+    assert_eq!(
+        golden.keys().collect::<Vec<_>>(),
+        rendered.keys().collect::<Vec<_>>(),
+        "{pass}: figure ids must match the golden capture"
+    );
+    for (id, want) in &golden {
+        assert_eq!(
+            &rendered[id], want,
+            "{pass}: {id} diverged from the golden (store-off) capture"
+        );
+    }
+}
+
+#[test]
+fn cold_and_warm_store_runs_match_the_store_off_golden() {
+    let dir = std::env::temp_dir().join(format!("specmt-store-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    // Cold pass: populates the store while producing golden output.
+    let cold_store = Store::open(StoreConfig::at(&dir));
+    assert_matches_golden("cold", &render_all(Arc::clone(&cold_store)));
+    for ns in [
+        Namespace::Trace,
+        Namespace::Profile,
+        Namespace::SpawnTable,
+        Namespace::Analysis,
+        Namespace::SimResult,
+    ] {
+        assert!(cold_store.stores(ns) > 0, "cold pass must populate {ns:?}");
+    }
+
+    // Warm pass: a fresh handle over the populated directory must serve
+    // every artifact — trace, profile, spawn tables, baselines, simulation
+    // results — and still render the identical figures.
+    let warm_store = Store::open(StoreConfig::at(&dir));
+    assert_matches_golden("warm", &render_all(Arc::clone(&warm_store)));
+    for ns in [
+        Namespace::Trace,
+        Namespace::Profile,
+        Namespace::SpawnTable,
+        Namespace::Analysis,
+        Namespace::SimResult,
+    ] {
+        assert_eq!(
+            warm_store.misses(ns),
+            0,
+            "warm pass must serve every {ns:?} artifact from the store"
+        );
+        assert!(warm_store.hits(ns) > 0, "warm pass must hit {ns:?}");
+    }
+    assert_eq!(
+        warm_store.stores(Namespace::SimResult),
+        0,
+        "a warm pass recomputes no simulation result"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
