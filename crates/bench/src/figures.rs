@@ -1006,6 +1006,177 @@ pub fn crossinput(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
     }])
 }
 
+/// Adaptation under input drift: spawn tables selected on the *training*
+/// input and evaluated on the *reference* input, with the online schemes
+/// (`scoreboard`, `conf-gated`) racing the static profile baseline they
+/// wrap.
+///
+/// The static scheme keeps firing stale pairs on the drifted input; the
+/// scoreboard demotes the ones whose threads keep squashing, and the
+/// confidence gate suppresses spawns from control-unstable regions. Where
+/// the training pairs transfer poorly, at least one adaptive scheme should
+/// recover part of the lost speed-up.
+///
+/// # Errors
+///
+/// As [`fig2`].
+pub fn fig_adaptation(h: &Harness) -> Result<Vec<Figure>, HarnessError> {
+    use specmt_workloads::{InputSet, SUITE_NAMES};
+
+    const SCHEMES: [&str; 3] = ["profile", "scoreboard", "conf-gated"];
+    let scale = h.scale;
+    let cfg = crate::best_profile_config(16);
+    let mut table = Table::new(&[
+        "bench",
+        "profile",
+        "scoreboard",
+        "conf-gated",
+        "best gain",
+    ]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); SCHEMES.len()];
+    let mut rows = Vec::new();
+    for name in SUITE_NAMES {
+        let load = |input, tag: &str| -> Result<_, HarnessError> {
+            let w = specmt_workloads::by_name_with_input(name, scale, input).ok_or_else(|| {
+                HarnessError::bench(
+                    name,
+                    crate::BenchError::UnknownWorkload {
+                        name: name.to_owned(),
+                    },
+                )
+            })?;
+            let label = format!("{name}-{tag}-{}", format!("{scale:?}").to_lowercase());
+            let (bench, key) = crate::cache::bench_via_store(&h.store, w, &label)
+                .map_err(|e| HarnessError::bench(name, e))?;
+            Ok((bench, key, label))
+        };
+        let (train, train_key, train_label) = load(InputSet::Train, "train")?;
+        let (reference, ref_key, ref_label) = load(InputSet::Ref, "ref")?;
+
+        if let Some(t) = &ref_key {
+            let akey = crate::cache::baseline_stage(t);
+            match h.store.get_json::<crate::cache::BaselineDoc>(
+                specmt_store::Namespace::Analysis,
+                &ref_label,
+                &akey,
+            ) {
+                Some(doc) => reference.seed_baseline(doc.cycles),
+                None => {
+                    let cycles = reference
+                        .baseline_cycles()
+                        .map_err(|e| HarnessError::bench(name, e))?;
+                    h.store.put_json(
+                        specmt_store::Namespace::Analysis,
+                        &ref_label,
+                        &akey,
+                        &crate::cache::BaselineDoc { cycles },
+                    );
+                }
+            }
+        }
+
+        let mut speeds = [0f64; 3];
+        for (si, sname) in SCHEMES.iter().enumerate() {
+            // The table is selected on the TRAIN input. Its store key
+            // carries the scheme's cache identity, so a change to an
+            // adaptive gate parameter re-keys the adaptive tables without
+            // touching the base scheme's entries.
+            let identity = h.registry.get(sname).and_then(|s| s.cache_identity());
+            let tkey = train_key
+                .as_ref()
+                .zip(identity.as_ref())
+                .map(|(t, id)| crate::cache::table_stage(t, id, &h.params));
+            let stored = tkey.as_ref().and_then(|k| {
+                h.store.get_json::<specmt_spawn::SpawnTable>(
+                    specmt_store::Namespace::SpawnTable,
+                    &train_label,
+                    k,
+                )
+            });
+            let sel = match stored {
+                Some(t) => t,
+                None => {
+                    let t = h.registry.select(sname, train.trace(), &h.params)?;
+                    if let Some(k) = &tkey {
+                        h.store
+                            .put_json(specmt_store::Namespace::SpawnTable, &train_label, k, &t);
+                    }
+                    t
+                }
+            };
+
+            let rkey = ref_key
+                .as_ref()
+                .map(|t| crate::cache::sim_stage(t, &sel, &cfg));
+            let stored = rkey.as_ref().and_then(|k| {
+                h.store.get_json::<specmt_sim::SimResult>(
+                    specmt_store::Namespace::SimResult,
+                    &ref_label,
+                    k,
+                )
+            });
+            let r = match stored {
+                Some(r) => r,
+                None => {
+                    let r = reference
+                        .run(cfg.clone(), &sel)
+                        .map_err(|e| HarnessError::bench(name, e))?;
+                    if let Some(k) = &rkey {
+                        h.store
+                            .put_json(specmt_store::Namespace::SimResult, &ref_label, k, &r);
+                    }
+                    r
+                }
+            };
+            speeds[si] = reference
+                .speedup(&r)
+                .map_err(|e| HarnessError::bench(name, e))?;
+            cols[si].push(speeds[si]);
+        }
+        let best = speeds[1].max(speeds[2]);
+        table.row_owned(vec![
+            name.into(),
+            f2(speeds[0]),
+            f2(speeds[1]),
+            f2(speeds[2]),
+            format!("{:+.1}%", 100.0 * (best / speeds[0] - 1.0)),
+        ]);
+        rows.push(json!({
+            "bench": name,
+            "profile": speeds[0],
+            "scoreboard": speeds[1],
+            "conf_gated": speeds[2],
+        }));
+    }
+    let hmeans: Vec<f64> = cols.iter().map(|c| harmonic_mean(c)).collect();
+    table.row_owned(vec![
+        "Hmean".into(),
+        f2(hmeans[0]),
+        f2(hmeans[1]),
+        f2(hmeans[2]),
+        format!(
+            "{:+.1}%",
+            100.0 * (hmeans[1].max(hmeans[2]) / hmeans[0] - 1.0)
+        ),
+    ]);
+    Ok(vec![Figure {
+        id: "fig_adaptation".into(),
+        title: "Online adaptation under input drift (train-selected pairs, ref input)".into(),
+        table,
+        notes: vec![
+            "All schemes run the same train-selected profile pairs on the reference".into(),
+            "input; scoreboard demotes squash-heavy pairs at runtime, conf-gated".into(),
+            "suppresses spawns while branch confidence is low.".into(),
+        ],
+        json: json!({
+            "rows": rows,
+            "hmean_profile": hmeans[0],
+            "hmean_scoreboard": hmeans[1],
+            "hmean_conf_gated": hmeans[2],
+        }),
+    }])
+}
+
 // ---------------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------------
@@ -1043,7 +1214,7 @@ impl std::fmt::Debug for FigureDef {
     }
 }
 
-static REGISTRY: [FigureDef; 17] = [
+static REGISTRY: [FigureDef; 18] = [
     FigureDef {
         id: "fig2",
         summary: "selected spawning pairs and distinct spawning points",
@@ -1145,6 +1316,12 @@ static REGISTRY: [FigureDef; 17] = [
         summary: "cross-input validation of profile-selected pairs (extra study)",
         group: FigureGroup::Extra,
         build: crossinput,
+    },
+    FigureDef {
+        id: "fig_adaptation",
+        summary: "online adaptive schemes vs static profile under input drift (extra study)",
+        group: FigureGroup::Extra,
+        build: fig_adaptation,
     },
 ];
 

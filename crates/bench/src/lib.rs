@@ -287,9 +287,11 @@ impl BenchCtx {
         if let Some(t) = self.tables.lock().expect("table lock").get(name) {
             return Ok(Arc::clone(t));
         }
-        let scheme = registry.get(name).ok_or_else(|| SchemeError::UnknownScheme {
-            name: name.to_owned(),
-            known: registry.names().iter().map(|&n| n.to_owned()).collect(),
+        let scheme = registry.get(name).ok_or_else(|| {
+            let mut known: Vec<String> =
+                registry.names().iter().map(|&n| n.to_owned()).collect();
+            known.sort_unstable();
+            SchemeError::UnknownScheme { name: name.to_owned(), known }
         })?;
         // Selection (and store I/O) runs outside the lock: it can be
         // expensive, and other schemes' lookups should not serialise
@@ -316,9 +318,11 @@ impl BenchCtx {
         registry: &SchemeRegistry,
         params: &SchemeParams,
     ) -> Result<SpawnTable, HarnessError> {
-        let scheme = registry.get(name).ok_or_else(|| SchemeError::UnknownScheme {
-            name: name.to_owned(),
-            known: registry.names().iter().map(|&n| n.to_owned()).collect(),
+        let scheme = registry.get(name).ok_or_else(|| {
+            let mut known: Vec<String> =
+                registry.names().iter().map(|&n| n.to_owned()).collect();
+            known.sort_unstable();
+            SchemeError::UnknownScheme { name: name.to_owned(), known }
         })?;
         self.select_stored(scheme, params)
     }

@@ -10,6 +10,7 @@ use specmt_bench::cache;
 use specmt_predict::ValuePredictorKind;
 use specmt_sim::{FaultPlan, RemovalPolicy, SimConfig};
 use specmt_spawn::{
+    AdaptivePolicy,
     HeuristicSet, MemSliceConfig, OrderCriterion, ProfileConfig, SchemeParams, SpawnTable,
 };
 use specmt_store::{Fingerprint, StageKey};
@@ -192,6 +193,60 @@ fn scheme_params_and_identity_key_the_table_stage() {
         },
         "builtin/profile",
     );
+}
+
+/// Changing an adaptive gate threshold must invalidate exactly the spawn
+/// table and simulate entries: the wrapper schemes bake the threshold into
+/// the identity string the table stage is keyed under, and the attached
+/// [`AdaptivePolicy`] extends the table fingerprint the sim stage hashes —
+/// while the trace and profile stages, which never read gate parameters,
+/// keep their keys bit-for-bit.
+#[test]
+fn adaptive_gate_thresholds_re_key_table_and_sim_stages_only() {
+    let t = trace_key();
+    let params = SchemeParams::default();
+    let profile_cfg = ProfileConfig::default();
+    let profile_before = cache::profile_stage(&t, &profile_cfg).key;
+
+    // A threshold bump is a different identity, hence a different table key.
+    let identities = [
+        "builtin/profile",
+        "scoreboard[t=2]/builtin/profile",
+        "scoreboard[t=3]/builtin/profile",
+        "conf-gated[t=3]/builtin/profile",
+        "conf-gated[t=6]/builtin/profile",
+    ];
+    let table_keys: HashSet<String> = identities
+        .iter()
+        .map(|id| cache::table_stage(&t, id, &params).key.hex())
+        .collect();
+    assert_eq!(table_keys.len(), identities.len(), "gate thresholds must re-key the table stage");
+
+    // The policy rides the table into the sim stage's closure.
+    let base = SpawnTable::empty();
+    let policies = [
+        None,
+        Some(AdaptivePolicy { demote_threshold: Some(2), confidence_threshold: None }),
+        Some(AdaptivePolicy { demote_threshold: Some(3), confidence_threshold: None }),
+        Some(AdaptivePolicy { demote_threshold: None, confidence_threshold: Some(3) }),
+        Some(AdaptivePolicy { demote_threshold: None, confidence_threshold: Some(6) }),
+    ];
+    let cfg = SimConfig::paper(4);
+    let sim_keys: HashSet<String> = policies
+        .iter()
+        .map(|p| {
+            let table = match p {
+                None => base.clone(),
+                Some(policy) => base.clone().with_adaptive(*policy),
+            };
+            cache::sim_stage(&t, &table, &cfg).key.hex()
+        })
+        .collect();
+    assert_eq!(sim_keys.len(), policies.len(), "gate thresholds must re-key the sim stage");
+
+    // Stages upstream of the gate parameters are oblivious to all of it.
+    assert_eq!(trace_key().key, t.key);
+    assert_eq!(cache::profile_stage(&t, &profile_cfg).key, profile_before);
 }
 
 #[test]

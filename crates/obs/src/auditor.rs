@@ -2,7 +2,7 @@
 //! machine and checks the conservation laws that end-of-run totals cannot
 //! express on their own.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::{Event, SquashReason};
 
@@ -66,6 +66,13 @@ pub struct AuditReport {
     pub faults_injected: u64,
     /// Cache accesses observed (hits + misses).
     pub cache_accesses: u64,
+    /// Spawn attempts declined by an adaptive gate (confidence or
+    /// scoreboard demotion). Each corresponds to exactly one declined
+    /// spawn, so this is a lower bound on `SimResult::spawns_declined`.
+    pub spawns_gated: u64,
+    /// Spawning pairs permanently demoted by the scoreboard. At most one
+    /// per distinct (SP, CQIP) pair — duplicates are a stream error.
+    pub pairs_demoted: u64,
 }
 
 /// End-of-run totals (from `SimResult`) that a stream audit must
@@ -82,6 +89,10 @@ pub struct ExpectedTotals {
     pub violations: u64,
     /// `SimResult::committed_instructions`.
     pub committed_instructions: u64,
+    /// `SimResult::spawns_gated`.
+    pub spawns_gated: u64,
+    /// `SimResult::pairs_demoted`.
+    pub pairs_demoted: u64,
 }
 
 impl AuditReport {
@@ -118,6 +129,8 @@ impl AuditReport {
         law("committed threads", self.committed, expected.threads_committed)?;
         law("squashed threads", self.squashed, expected.threads_squashed)?;
         law("violations", self.violations, expected.violations)?;
+        law("gated spawns", self.spawns_gated, expected.spawns_gated)?;
+        law("demoted pairs", self.pairs_demoted, expected.pairs_demoted)?;
         law("committed instructions", self.committed_size_sum, expected.committed_instructions)
     }
 }
@@ -137,6 +150,7 @@ enum State {
 /// editing of this function).
 pub fn audit(events: &[Event]) -> Result<AuditReport, AuditError> {
     let mut threads: BTreeMap<u64, State> = BTreeMap::new();
+    let mut demoted_pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
     let mut report = AuditReport::default();
 
     let live_spawn = |threads: &BTreeMap<u64, State>, thread: u64, what: &str, cycle: u64| {
@@ -202,6 +216,24 @@ pub fn audit(events: &[Event]) -> Result<AuditReport, AuditError> {
                 live_spawn(&threads, thread, "cache access", cycle)?;
                 report.cache_accesses += 1;
             }
+            Event::SpawnGated { thread, cycle, .. } => {
+                // The gate declines a spawn *attempt*, so the referenced
+                // thread is the would-be spawner and must still be live.
+                live_spawn(&threads, thread, "gated spawn", cycle)?;
+                report.spawns_gated += 1;
+            }
+            Event::PairDemoted { sp, cqip, cycle, .. } => {
+                // Demotion is permanent, so a pair may be demoted at most
+                // once per run. The referencing thread is the squashed
+                // child, which has already retired (like forced-squash
+                // faults), so no lifecycle check applies.
+                if !demoted_pairs.insert((sp, cqip)) {
+                    return Err(stream_err(format!(
+                        "pair ({sp}, {cqip}) demoted twice (second at cycle {cycle})"
+                    )));
+                }
+                report.pairs_demoted += 1;
+            }
             Event::FaultInjected { .. } => {
                 // Dropped-spawn faults reference the *spawner*, which may be
                 // any live thread; forced squashes reference the child that
@@ -229,6 +261,7 @@ pub fn audit(events: &[Event]) -> Result<AuditReport, AuditError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GateReason;
 
     fn spawn(thread: u64, cycle: u64, speculative: bool) -> Event {
         Event::ThreadSpawned { thread, unit: thread as u32, cycle, speculative }
@@ -266,6 +299,8 @@ mod tests {
                 threads_squashed: 1,
                 violations: 1,
                 committed_instructions: 31,
+                spawns_gated: 0,
+                pairs_demoted: 0,
             })
             .expect("laws hold");
     }
@@ -328,8 +363,67 @@ mod tests {
                 threads_squashed: 0,
                 violations: 0,
                 committed_instructions: 99,
+                spawns_gated: 0,
+                pairs_demoted: 0,
             })
             .expect_err("size sum is wrong");
         assert!(matches!(err, AuditError::Conservation { .. }));
+    }
+
+    #[test]
+    fn gated_spawns_and_demotions_are_tallied() {
+        let events = vec![
+            spawn(0, 0, false),
+            spawn(1, 3, true),
+            Event::SpawnGated {
+                thread: 0,
+                unit: 0,
+                cycle: 5,
+                reason: GateReason::LowConfidence,
+            },
+            Event::ThreadSquashed {
+                thread: 1,
+                unit: 1,
+                cycle: 8,
+                reason: SquashReason::ControlMisspeculation,
+            },
+            Event::PairDemoted { thread: 1, unit: 1, cycle: 8, sp: 4, cqip: 9 },
+            Event::SpawnGated { thread: 0, unit: 0, cycle: 9, reason: GateReason::Demoted },
+            Event::ThreadCommitted { thread: 0, unit: 0, cycle: 12, spawn_cycle: 0, size: 6 },
+        ];
+        let report = audit(&events).expect("audit");
+        assert_eq!(report.spawns_gated, 2);
+        assert_eq!(report.pairs_demoted, 1);
+        report
+            .verify(&ExpectedTotals {
+                threads_spawned: 1,
+                threads_committed: 1,
+                threads_squashed: 1,
+                violations: 0,
+                committed_instructions: 6,
+                spawns_gated: 2,
+                pairs_demoted: 1,
+            })
+            .expect("laws hold");
+    }
+
+    #[test]
+    fn gated_spawn_by_a_retired_thread_is_rejected() {
+        let events = vec![
+            spawn(0, 0, false),
+            Event::ThreadCommitted { thread: 0, unit: 0, cycle: 4, spawn_cycle: 0, size: 3 },
+            Event::SpawnGated { thread: 0, unit: 0, cycle: 5, reason: GateReason::Demoted },
+        ];
+        assert!(matches!(audit(&events), Err(AuditError::Stream { .. })));
+    }
+
+    #[test]
+    fn double_demotion_of_one_pair_is_rejected() {
+        let events = vec![
+            spawn(0, 0, false),
+            Event::PairDemoted { thread: 7, unit: 1, cycle: 3, sp: 4, cqip: 9 },
+            Event::PairDemoted { thread: 8, unit: 2, cycle: 6, sp: 4, cqip: 9 },
+        ];
+        assert!(matches!(audit(&events), Err(AuditError::Stream { .. })));
     }
 }

@@ -29,6 +29,34 @@ impl SquashReason {
 
 serde::impl_serde_enum!(SquashReason { ControlMisspeculation, InjectedFault });
 
+/// Why an adaptive gate declined a spawn attempt (see
+/// `specmt_spawn::AdaptivePolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateReason {
+    /// The spawning unit's branch-predictor confidence level was below the
+    /// policy's `confidence_threshold`.
+    LowConfidence,
+    /// Every viable candidate pair at the spawn point had been demoted by
+    /// the runtime scoreboard.
+    Demoted,
+}
+
+impl GateReason {
+    /// Every reason, in a stable order.
+    pub const ALL: [GateReason; 2] = [GateReason::LowConfidence, GateReason::Demoted];
+
+    /// The counter name a [`MetricsRegistry`](crate::MetricsRegistry) files
+    /// this reason under.
+    pub fn counter(self) -> &'static str {
+        match self {
+            GateReason::LowConfidence => "gated_low_confidence",
+            GateReason::Demoted => "gated_demoted",
+        }
+    }
+}
+
+serde::impl_serde_enum!(GateReason { LowConfidence, Demoted });
+
 /// Which fault the injector fired (see `specmt_sim::FaultPlan`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -134,6 +162,37 @@ pub enum Event {
         /// Whether the block was resident.
         hit: bool,
     },
+    /// An adaptive gate declined a spawn attempt. Emitted only when the
+    /// gate was the sole decider — every `SpawnGated` event corresponds to
+    /// exactly one declined spawn (`SimResult::spawns_gated`, a subset of
+    /// `SimResult::spawns_declined`).
+    SpawnGated {
+        /// Per-run thread id of the thread whose spawn attempt was gated
+        /// (the would-be spawner, which stays live).
+        thread: u64,
+        /// Thread-unit index the spawner runs on.
+        unit: u32,
+        /// Fetch cycle of the gated spawn point.
+        cycle: u64,
+        /// Which gate declined.
+        reason: GateReason,
+    },
+    /// The runtime scoreboard permanently demoted a spawning pair. At most
+    /// one per `(sp, cqip)` pair per run.
+    PairDemoted {
+        /// Per-run thread id of the squashed thread whose squash crossed
+        /// the demotion threshold (already retired when this fires, like
+        /// the forced-squash fault's reference).
+        thread: u64,
+        /// Thread-unit index that squashed thread ran on.
+        unit: u32,
+        /// Cycle of the demoting squash.
+        cycle: u64,
+        /// The demoted pair's spawning point (static pc).
+        sp: u32,
+        /// The demoted pair's control quasi-independent point (static pc).
+        cqip: u32,
+    },
     /// The deterministic fault injector fired.
     FaultInjected {
         /// Per-run thread id the fault hit (for [`FaultKind::DroppedSpawn`]
@@ -158,6 +217,8 @@ impl Event {
             | Event::ThreadCommitted { thread, .. }
             | Event::ViolationDetected { thread, .. }
             | Event::CacheAccess { thread, .. }
+            | Event::SpawnGated { thread, .. }
+            | Event::PairDemoted { thread, .. }
             | Event::FaultInjected { thread, .. } => thread,
         }
     }
@@ -170,6 +231,8 @@ impl Event {
             | Event::ThreadCommitted { unit, .. }
             | Event::ViolationDetected { unit, .. }
             | Event::CacheAccess { unit, .. }
+            | Event::SpawnGated { unit, .. }
+            | Event::PairDemoted { unit, .. }
             | Event::FaultInjected { unit, .. } => unit,
         }
     }
@@ -182,6 +245,8 @@ impl Event {
             | Event::ThreadCommitted { cycle, .. }
             | Event::ViolationDetected { cycle, .. }
             | Event::CacheAccess { cycle, .. }
+            | Event::SpawnGated { cycle, .. }
+            | Event::PairDemoted { cycle, .. }
             | Event::FaultInjected { cycle, .. } => cycle,
         }
     }
@@ -194,6 +259,8 @@ impl Event {
             Event::ThreadCommitted { .. } => "ThreadCommitted",
             Event::ViolationDetected { .. } => "ViolationDetected",
             Event::CacheAccess { .. } => "CacheAccess",
+            Event::SpawnGated { .. } => "SpawnGated",
+            Event::PairDemoted { .. } => "PairDemoted",
             Event::FaultInjected { .. } => "FaultInjected",
         }
     }
@@ -205,6 +272,8 @@ serde::impl_serde_enum!(Event {
     ThreadCommitted { thread, unit, cycle, spawn_cycle, size },
     ViolationDetected { thread, unit, cycle },
     CacheAccess { thread, unit, cycle, hit },
+    SpawnGated { thread, unit, cycle, reason },
+    PairDemoted { thread, unit, cycle, sp, cqip },
     FaultInjected { thread, unit, cycle, kind },
 });
 
@@ -225,6 +294,14 @@ mod tests {
             Event::ThreadCommitted { thread: 1, unit: 1, cycle: 99, spawn_cycle: 10, size: 64 },
             Event::ViolationDetected { thread: 1, unit: 1, cycle: 55 },
             Event::CacheAccess { thread: 0, unit: 0, cycle: 7, hit: true },
+            Event::SpawnGated {
+                thread: 1,
+                unit: 1,
+                cycle: 60,
+                reason: GateReason::LowConfidence,
+            },
+            Event::SpawnGated { thread: 0, unit: 0, cycle: 61, reason: GateReason::Demoted },
+            Event::PairDemoted { thread: 3, unit: 2, cycle: 44, sp: 12, cqip: 30 },
             Event::FaultInjected {
                 thread: 2,
                 unit: 3,
@@ -252,5 +329,13 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), SquashReason::ALL.len());
+    }
+
+    #[test]
+    fn gate_reasons_enumerate_every_counter() {
+        let mut names: Vec<&str> = GateReason::ALL.iter().map(|r| r.counter()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GateReason::ALL.len());
     }
 }

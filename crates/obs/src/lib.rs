@@ -45,7 +45,7 @@ mod sink;
 pub mod task;
 
 pub use auditor::{audit, AuditError, AuditReport, ExpectedTotals};
-pub use event::{Event, FaultKind, SquashReason};
+pub use event::{Event, FaultKind, GateReason, SquashReason};
 pub use metrics::{CounterSnapshot, HistogramSnapshot, Metrics, MetricsRegistry};
 pub use sink::{EventLog, EventSink, NullSink};
 pub use task::{audit_batch, BatchTotals, TaskAuditReport, TaskEvent, TaskFault, TaskLog};

@@ -142,6 +142,11 @@ impl EventSink for MetricsRegistry {
             Event::CacheAccess { hit, .. } => {
                 self.inc(if hit { "cache_hits" } else { "cache_misses" });
             }
+            Event::SpawnGated { reason, .. } => {
+                self.inc("spawns_gated");
+                self.inc(reason.counter());
+            }
+            Event::PairDemoted { .. } => self.inc("pairs_demoted"),
             Event::FaultInjected { kind, .. } => {
                 self.inc("faults_injected");
                 self.inc(kind.counter());
@@ -222,7 +227,7 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SquashReason;
+    use crate::{GateReason, SquashReason};
 
     #[test]
     fn histogram_buckets_are_powers_of_two() {
@@ -277,6 +282,14 @@ mod tests {
             cycle: 5,
             kind: FaultKind::CacheJitter { cycles: 4 },
         });
+        reg.record(&Event::SpawnGated {
+            thread: 0,
+            unit: 0,
+            cycle: 7,
+            reason: GateReason::LowConfidence,
+        });
+        reg.record(&Event::SpawnGated { thread: 0, unit: 0, cycle: 8, reason: GateReason::Demoted });
+        reg.record(&Event::PairDemoted { thread: 2, unit: 2, cycle: 9, sp: 3, cqip: 8 });
 
         let m = reg.snapshot();
         assert_eq!(m.counter("threads_spawned"), 3);
@@ -289,6 +302,10 @@ mod tests {
         assert_eq!(m.counter("faults_injected"), 1);
         assert_eq!(m.counter("fault_cache_jitters"), 1);
         assert_eq!(m.counter("fault_jitter_cycles"), 4);
+        assert_eq!(m.counter("spawns_gated"), 2);
+        assert_eq!(m.counter("gated_low_confidence"), 1);
+        assert_eq!(m.counter("gated_demoted"), 1);
+        assert_eq!(m.counter("pairs_demoted"), 1);
         assert_eq!(m.counter("threads_in_flight"), 0);
         assert_eq!(m.counter("threads_in_flight_peak"), 3);
         let sizes = m.histogram("thread_size").expect("histogram");

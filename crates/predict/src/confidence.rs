@@ -1,0 +1,98 @@
+//! Branch-predictor confidence estimation for spawn gating.
+
+/// A per-thread-unit confidence estimator over the unit's gshare outcomes:
+/// an 8-bit shift register of recent prediction correctness, read as a
+/// popcount *confidence level* in `0..=8`.
+///
+/// The adaptive `conf-gated` spawning scheme declines spawn attempts while
+/// the spawning unit's level is below its threshold — a unit mispredicting
+/// its recent branches is likely somewhere control-unstable, exactly where
+/// a speculative spawn is most likely to be a control misspeculation
+/// (Durbhakula's branch-prediction optimizations for multithreaded
+/// processors).
+///
+/// The history starts all-ones (fully confident), matching the optimistic
+/// reset of resolution counters in confidence-estimation hardware: a unit
+/// that has not yet run any branches has no evidence against spawning.
+///
+/// # Examples
+///
+/// ```
+/// use specmt_predict::SpawnConfidence;
+///
+/// let mut c = SpawnConfidence::new();
+/// assert_eq!(c.level(), SpawnConfidence::MAX_LEVEL);
+/// c.record(false);
+/// c.record(false);
+/// assert_eq!(c.level(), 6);
+/// c.record(true);
+/// assert_eq!(c.level(), 6); // a correct shift also ages out an old `1`
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpawnConfidence {
+    history: u8,
+}
+
+impl SpawnConfidence {
+    /// The highest (and initial) confidence level: all 8 tracked branches
+    /// predicted correctly.
+    pub const MAX_LEVEL: u32 = 8;
+
+    /// A fully-confident estimator.
+    pub fn new() -> SpawnConfidence {
+        SpawnConfidence { history: u8::MAX }
+    }
+
+    /// Shifts one resolved branch into the history.
+    #[inline]
+    pub fn record(&mut self, correct: bool) {
+        self.history = (self.history << 1) | u8::from(correct);
+    }
+
+    /// Correct predictions among the last 8 recorded branches.
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.history.count_ones()
+    }
+}
+
+impl Default for SpawnConfidence {
+    fn default() -> SpawnConfidence {
+        SpawnConfidence::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_confident() {
+        assert_eq!(SpawnConfidence::new().level(), SpawnConfidence::MAX_LEVEL);
+    }
+
+    #[test]
+    fn level_tracks_the_window_popcount() {
+        let mut c = SpawnConfidence::new();
+        for _ in 0..8 {
+            c.record(false);
+        }
+        assert_eq!(c.level(), 0);
+        c.record(true);
+        assert_eq!(c.level(), 1);
+        // Old outcomes age out of the 8-bit window.
+        for _ in 0..8 {
+            c.record(true);
+        }
+        assert_eq!(c.level(), SpawnConfidence::MAX_LEVEL);
+    }
+
+    #[test]
+    fn mixed_history_counts_exactly() {
+        let mut c = SpawnConfidence::new();
+        for correct in [true, false, true, false, false, true, true, false] {
+            c.record(correct);
+        }
+        assert_eq!(c.level(), 4);
+    }
+}

@@ -7,6 +7,9 @@
 //!   paper notes predictor tables are *not* reinitialised when a new thread
 //!   is assigned to a unit; the simulator keeps one instance per unit
 //!   accordingly.
+//! * [`SpawnConfidence`] — an 8-bit popcount confidence estimator over a
+//!   unit's gshare outcomes, consulted by the adaptive `conf-gated`
+//!   spawning scheme to decline spawns from control-unstable regions.
 //! * [`ValuePredictor`] implementations for thread live-in values, all
 //!   sized to the paper's 16 KB budget and indexed by hashing the spawning
 //!   point, the control quasi-independent point and the register being
@@ -35,9 +38,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod confidence;
 mod gshare;
 mod value;
 
+pub use confidence::SpawnConfidence;
 pub use gshare::Gshare;
 pub use value::{
     FcmPredictor, LastValuePredictor, PredKey, StridePredictor, ValuePredictor, ValuePredictorKind,

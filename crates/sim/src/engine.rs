@@ -36,9 +36,9 @@
 //! table so the cycle loop never interrogates the `Inst` enum.
 
 use specmt_isa::{FuClass, Pc};
-use specmt_obs::{Event, EventSink, FaultKind, MetricsRegistry, SquashReason};
-use specmt_predict::{Gshare, PredKey, ValuePredictor, ValuePredictorKind};
-use specmt_spawn::SpawnTable;
+use specmt_obs::{Event, EventSink, FaultKind, GateReason, MetricsRegistry, SquashReason};
+use specmt_predict::{Gshare, PredKey, SpawnConfidence, ValuePredictor, ValuePredictorKind};
+use specmt_spawn::{AdaptiveState, SpawnTable};
 use specmt_trace::{DepGraph, Trace, NO_PRODUCER};
 use std::sync::Arc;
 
@@ -329,6 +329,15 @@ struct Engine<'a, 's> {
     fu_total: usize,
     // --- Cold per-thread-unit state (touched per branch / memory op) ----
     gshares: Vec<Gshare>,
+    /// Per-unit branch-confidence estimators, updated alongside the
+    /// gshares but only when the confidence gate is active.
+    confs: Vec<SpawnConfidence>,
+    /// Runtime pair scoreboard (the `scoreboard` adaptive scheme); `None`
+    /// unless the spawn table's policy sets a demote threshold.
+    scoreboard: Option<AdaptiveState>,
+    /// Confidence-gate threshold (the `conf-gated` adaptive scheme); zero
+    /// disables the gate entirely.
+    conf_threshold: u32,
     caches: Vec<L1Cache>,
     predictor: Option<Box<dyn ValuePredictor>>,
     /// Active speculative threads in program order (excluding the one being
@@ -404,6 +413,14 @@ impl<'a, 's> Engine<'a, 's> {
         // Intern the pairs and flatten the per-pc candidate lists into a
         // CSR, resolving each candidate's pair id and dense CQIP index once.
         let pairs = PairArena::new(&table);
+        // The online spawning policy rides on the table; either half being
+        // active disables the fast-decline shortcut (a gated decline must
+        // be counted and emitted, and demotion state can change on any
+        // retire).
+        let adaptive = table.adaptive().copied().unwrap_or_default();
+        let scoreboard = adaptive
+            .demote_threshold
+            .map(|thr| AdaptiveState::new(pairs.keys.len(), thr));
         let mut cqip_pcs: Vec<u32> = table.iter().map(|p| p.cqip.0).collect();
         cqip_pcs.sort_unstable();
         cqip_pcs.dedup();
@@ -514,7 +531,8 @@ impl<'a, 's> Engine<'a, 's> {
             tu_free_count: n_tus,
             tu_min_free: 0,
             fast_decline: faults.is_none()
-                && cfg.removal.and_then(|p| p.reinstate_after).is_none(),
+                && cfg.removal.and_then(|p| p.reinstate_after).is_none()
+                && !adaptive.is_active(),
             ports: vec![0; n_tus * cfg.issue_width],
             fu_free: vec![0; n_tus * fu_total],
             fu_offset,
@@ -522,6 +540,9 @@ impl<'a, 's> Engine<'a, 's> {
             fu_incr,
             fu_total,
             gshares: (0..n_tus).map(|_| Gshare::new(cfg.gshare_bits)).collect(),
+            confs: vec![SpawnConfidence::new(); n_tus],
+            scoreboard,
+            conf_threshold: u32::from(adaptive.confidence_threshold.unwrap_or(0)),
             caches: (0..n_tus)
                 .map(|_| L1Cache::new_bounded(cfg.cache, max_block, max_accesses))
                 .collect(),
@@ -689,6 +710,27 @@ impl<'a, 's> Engine<'a, 's> {
                     });
                 }
             }
+            // Scoreboard feedback: every squash heats its pair's counter,
+            // in the deterministic retire order of the doomed list.
+            for d in &doomed {
+                let newly = self
+                    .scoreboard
+                    .as_mut()
+                    .is_some_and(|sb| sb.record_squash(d.pair as usize));
+                if newly {
+                    self.result.pairs_demoted += 1;
+                    if self.observing {
+                        let (sp, cqip) = self.pairs.keys[d.pair as usize];
+                        self.emit(Event::PairDemoted {
+                            thread: d.id,
+                            unit: d.tu as u32,
+                            cycle: exec_done.max(d.spawn_time),
+                            sp,
+                            cqip,
+                        });
+                    }
+                }
+            }
 
             let window_len = (end - t.start) as u64;
             self.result.record_thread_size(window_len);
@@ -705,6 +747,14 @@ impl<'a, 's> Engine<'a, 's> {
                     spawn_cycle: t.spawn_time,
                     size: window_len,
                 });
+            }
+            // Scoreboard feedback: a commit cools the pair's counter
+            // (applied after this window's squashes, so a pair whose
+            // children both squash and commit trends by the net balance).
+            if let Some(pid) = t.pair {
+                if let Some(sb) = self.scoreboard.as_mut() {
+                    sb.record_commit(pid as usize);
+                }
             }
 
             self.apply_dynamic_policies(&t, &doomed, exec_done, window_len, pred_commit);
@@ -774,6 +824,24 @@ impl<'a, 's> Engine<'a, 's> {
         {
             return Err(SimError::StatsConservation {
                 reason: "predictor hits exceed predictions".to_owned(),
+            });
+        }
+        if self.result.spawns_gated > self.result.spawns_declined {
+            return Err(SimError::StatsConservation {
+                reason: format!(
+                    "{} gated spawns exceed {} declined spawns",
+                    self.result.spawns_gated, self.result.spawns_declined
+                ),
+            });
+        }
+        if self.result.pairs_demoted != self.scoreboard.as_ref().map_or(0, AdaptiveState::demotions)
+        {
+            return Err(SimError::StatsConservation {
+                reason: format!(
+                    "{} demotions counted but the scoreboard recorded {}",
+                    self.result.pairs_demoted,
+                    self.scoreboard.as_ref().map_or(0, AdaptiveState::demotions)
+                ),
             });
         }
         Ok(())
@@ -1058,6 +1126,9 @@ impl<'a, 's> Engine<'a, 's> {
                 // canonical unpredictable branch.
                 let hit = pred == taken;
                 self.result.branch_hits += u64::from(hit);
+                if self.conf_threshold > 0 {
+                    self.confs[t.tu].record(hit);
+                }
                 let redirect = if hit {
                     if taken { f + 1 } else { fetch_cycle }
                 } else {
@@ -1162,6 +1233,23 @@ impl<'a, 's> Engine<'a, 's> {
     /// window's already-doomed children (CQIP conflict checks).
     #[inline(never)]
     fn try_spawn(&mut self, t: &PendingThread, k: usize, pc: u32, f: u64) -> Option<DoomedChild> {
+        // Confidence gate: a unit mispredicting its recent branches is
+        // somewhere control-unstable, so the spawn attempt itself is
+        // suppressed — before any candidate (or fault roll) is considered,
+        // exactly as the hardware would kill the spawn at fetch.
+        if self.conf_threshold > 0 && self.confs[t.tu].level() < self.conf_threshold {
+            self.result.spawns_declined += 1;
+            self.result.spawns_gated += 1;
+            if self.observing {
+                self.emit(Event::SpawnGated {
+                    thread: t.id,
+                    unit: t.tu as u32,
+                    cycle: f,
+                    reason: GateReason::LowConfidence,
+                });
+            }
+            return None;
+        }
         // Chaos: the spawn opportunity is silently lost (a flaky spawn
         // unit), before any candidate is even considered.
         let spawn_dropped = self.faults.as_mut().is_some_and(FaultInjector::roll_drop_spawn);
@@ -1199,6 +1287,25 @@ impl<'a, 's> Engine<'a, 's> {
                     return None;
                 }
             }
+            // Scoreboard demotion: a runtime blacklist fed by squashes,
+            // consulted like removal but permanent and with its own
+            // accounting (the gate is the sole decider for this decline).
+            if self.scoreboard.as_ref().is_some_and(|sb| sb.is_demoted(pid)) {
+                if self.cfg.reassign {
+                    continue;
+                }
+                self.result.spawns_declined += 1;
+                self.result.spawns_gated += 1;
+                if self.observing {
+                    self.emit(Event::SpawnGated {
+                        thread: t.id,
+                        unit: t.tu as u32,
+                        cycle: f,
+                        reason: GateReason::Demoted,
+                    });
+                }
+                return None;
+            }
             // Hardware check: a more speculative thread already started at
             // this CQIP (counts cover the chain and this window's doomed).
             let cd = self.cand_cqip[ci] as usize;
@@ -1216,6 +1323,9 @@ impl<'a, 's> Engine<'a, 's> {
             };
             self.tu_claim(tu);
             self.result.threads_spawned += 1;
+            if let Some(sb) = self.scoreboard.as_mut() {
+                sb.record_spawn(pid);
+            }
             let id = self.next_thread_id;
             self.next_thread_id += 1;
             if self.observing {
@@ -1891,6 +2001,73 @@ mod tests {
             assert!(act <= tus as f64 + 1e-9, "{act} > {tus}");
             assert!(act >= 1.0);
         }
+    }
+
+    /// A squash-every-time pair is demoted after exactly `threshold`
+    /// squashes and never spawns again, with every later attempt counted
+    /// (and emitted) as gated.
+    #[test]
+    fn scoreboard_demotes_squash_heavy_pairs() {
+        use specmt_spawn::AdaptivePolicy;
+        let trace = independent_loop(40);
+        // pair(3, 3) retires a window per iteration; pair(5, 0)'s CQIP
+        // never recurs, so its child squashes at every one of those
+        // retires — the squash-heavy pair the scoreboard exists to kill.
+        let plain = SpawnTable::from_pairs(vec![pair(3, 3), pair(5, 0)]);
+        let policy =
+            AdaptivePolicy { demote_threshold: Some(2), confidence_threshold: None };
+        let table = plain.clone().with_adaptive(policy);
+        let base = Simulator::with_table(&trace, SimConfig::paper(4), &plain)
+            .run()
+            .expect("simulation");
+        let r = Simulator::with_table(&trace, SimConfig::paper(4), &table)
+            .run()
+            .expect("simulation");
+        assert!(base.threads_squashed > 4, "{base:?}");
+        assert_eq!(r.pairs_demoted, 1);
+        assert!(r.spawns_gated > 0);
+        assert!(r.threads_squashed < base.threads_squashed, "{r:?}");
+        assert_eq!(r.committed_instructions, trace.len() as u64);
+    }
+
+    /// A policy whose gate threshold is zero (and no demote threshold) is
+    /// inactive: the run is bit-identical to the bare table, fast-decline
+    /// shortcut included.
+    #[test]
+    fn inactive_policy_is_bit_identical_to_no_policy() {
+        use specmt_spawn::AdaptivePolicy;
+        let trace = independent_loop(100);
+        let plain = SpawnTable::from_pairs(vec![pair(3, 3)]);
+        let gated = plain
+            .clone()
+            .with_adaptive(AdaptivePolicy { demote_threshold: None, confidence_threshold: Some(0) });
+        let a = Simulator::with_table(&trace, SimConfig::paper(8), &plain)
+            .run()
+            .expect("simulation");
+        let b = Simulator::with_table(&trace, SimConfig::paper(8), &gated)
+            .run()
+            .expect("simulation");
+        assert_eq!(a, b);
+    }
+
+    /// The strictest confidence gate (level 8 of 8) suppresses spawns
+    /// whenever any of the unit's last eight branches mispredicted, yet
+    /// never perturbs the committed stream.
+    #[test]
+    fn confidence_gate_declines_after_mispredicts() {
+        use specmt_spawn::AdaptivePolicy;
+        let trace = independent_loop(100);
+        let table = SpawnTable::from_pairs(vec![pair(3, 3)]).with_adaptive(AdaptivePolicy {
+            demote_threshold: None,
+            confidence_threshold: Some(8),
+        });
+        let r = Simulator::with_table(&trace, SimConfig::paper(8), &table)
+            .run()
+            .expect("simulation");
+        assert!(r.spawns_gated > 0, "{r:?}");
+        assert!(r.spawns_gated <= r.spawns_declined);
+        assert!(r.threads_spawned > 0, "the gate must reopen once confident");
+        assert_eq!(r.committed_instructions, trace.len() as u64);
     }
 
     proptest! {

@@ -26,6 +26,11 @@ pub struct SimResult {
     /// Spawn opportunities declined (no free thread unit, CQIP already
     /// active, or the pair was removed).
     pub spawns_declined: u64,
+    /// Spawn opportunities declined by an adaptive gate specifically —
+    /// low branch-predictor confidence or a scoreboard-demoted pair. A
+    /// subset of `spawns_declined`; zero unless the spawn table carries an
+    /// `AdaptivePolicy`.
+    pub spawns_gated: u64,
     /// Memory-dependence violations (squash-and-restart events).
     pub violations: u64,
     /// Live-in values predicted by the realistic predictor.
@@ -42,6 +47,10 @@ pub struct SimResult {
     pub cache_misses: u64,
     /// Spawning pairs removed by the dynamic policies.
     pub pairs_removed: u64,
+    /// Spawning pairs permanently demoted by the adaptive scoreboard (a
+    /// runtime blacklist, distinct from the removal policy's
+    /// `pairs_removed`); zero unless the policy sets a demote threshold.
+    pub pairs_demoted: u64,
     /// Sum over committed threads of their lifetime (spawn to commit), in
     /// cycles; divided by `cycles` this is the average number of active
     /// threads (Figure 4).
@@ -81,6 +90,7 @@ serde::impl_serde_struct!(SimResult {
     threads_spawned,
     threads_squashed,
     spawns_declined,
+    spawns_gated,
     violations,
     value_predictions,
     value_hits,
@@ -89,6 +99,7 @@ serde::impl_serde_struct!(SimResult {
     cache_hits,
     cache_misses,
     pairs_removed,
+    pairs_demoted,
     thread_lifetime_cycles,
     thread_size_sum,
     thread_size_histogram,
@@ -179,6 +190,8 @@ impl SimResult {
             threads_squashed: self.threads_squashed,
             violations: self.violations,
             committed_instructions: self.committed_instructions,
+            spawns_gated: self.spawns_gated,
+            pairs_demoted: self.pairs_demoted,
         }
     }
 

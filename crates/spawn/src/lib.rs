@@ -23,6 +23,12 @@
 //!
 //! Both produce a [`SpawnTable`], the interface the simulator consumes.
 //!
+//! A third, *online* family wraps either of the above (see [`adaptive`]):
+//! the `scoreboard` and `conf-gated` schemes attach an [`AdaptivePolicy`]
+//! to the base scheme's table, and the simulator consults it at runtime —
+//! demoting pairs whose threads keep squashing, and gating spawns on
+//! branch-predictor confidence.
+//!
 //! Every selector family is also wrapped in an object-safe [`SpawnScheme`]
 //! implementation and registered by name in [`SchemeRegistry::builtin`], so
 //! experiments and tools address policies uniformly and custom policies
@@ -47,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adaptive;
 mod heuristics;
 mod memslice;
 mod pair;
@@ -59,6 +66,10 @@ pub mod scheme;
 /// changes for identical inputs (new tie-breaks, scoring tweaks, ...).
 pub const CODE_REV: u32 = 1;
 
+pub use adaptive::{
+    AdaptivePolicy, AdaptiveState, ConfGatedScheme, ScoreboardScheme,
+    DEFAULT_CONFIDENCE_THRESHOLD, DEFAULT_DEMOTE_THRESHOLD,
+};
 pub use heuristics::{heuristic_pairs, HeuristicSet};
 pub use memslice::{memslice_pairs, MemSliceConfig};
 pub use pair::{PairOrigin, SpawnPair, SpawnTable};

@@ -5,6 +5,8 @@ use std::collections::BTreeMap;
 use specmt_isa::Pc;
 use specmt_store::{Fingerprint, FingerprintHasher};
 
+use crate::adaptive::AdaptivePolicy;
+
 /// How a spawning pair was selected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PairOrigin {
@@ -70,6 +72,9 @@ pub struct SpawnPair {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpawnTable {
     by_sp: BTreeMap<u32, Vec<SpawnPair>>,
+    /// Runtime gate parameters attached by an adaptive scheme; `None` for
+    /// every offline scheme's output.
+    adaptive: Option<AdaptivePolicy>,
 }
 
 serde::impl_serde_enum!(PairOrigin {
@@ -90,9 +95,19 @@ serde::impl_serde_struct!(SpawnPair {
     origin,
 });
 
+// A table without a policy serialises as the bare pair array it always
+// did, so every previously-written table document (and store entry) parses
+// unchanged; a policy promotes the form to `{pairs, adaptive}`.
 impl serde::Serialize for SpawnTable {
     fn to_value(&self) -> serde::Value {
-        serde::Serialize::to_value(&self.iter().copied().collect::<Vec<_>>())
+        let pairs = serde::Serialize::to_value(&self.iter().copied().collect::<Vec<_>>());
+        match &self.adaptive {
+            None => pairs,
+            Some(policy) => serde::Value::Object(vec![
+                ("pairs".to_owned(), pairs),
+                ("adaptive".to_owned(), serde::Serialize::to_value(policy)),
+            ]),
+        }
     }
 }
 
@@ -100,8 +115,25 @@ impl serde::Serialize for SpawnTable {
 // deduplicated and score-ordered, whatever the input claimed.
 impl serde::Deserialize for SpawnTable {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        let pairs = <Vec<SpawnPair> as serde::Deserialize>::from_value(v)?;
-        Ok(SpawnTable::from_pairs(pairs))
+        let (pairs_value, adaptive) = match v {
+            serde::Value::Object(_) => {
+                let pairs = v.get("pairs").ok_or_else(|| {
+                    serde::Error::custom("SpawnTable object form is missing `pairs`")
+                })?;
+                let policy = v
+                    .get("adaptive")
+                    .map(<AdaptivePolicy as serde::Deserialize>::from_value)
+                    .transpose()?;
+                (pairs, policy)
+            }
+            _ => (v, None),
+        };
+        let pairs = <Vec<SpawnPair> as serde::Deserialize>::from_value(pairs_value)?;
+        let table = SpawnTable::from_pairs(pairs);
+        Ok(match adaptive {
+            Some(policy) => table.with_adaptive(policy),
+            None => table,
+        })
     }
 }
 
@@ -141,6 +173,14 @@ impl Fingerprint for SpawnTable {
         for p in self.iter() {
             p.fingerprint(h);
         }
+        // Policy-free tables keep the digest they had before the adaptive
+        // field existed (no trailing `none` marker); a policy extends the
+        // digest, so a gate-threshold change re-keys every simulation run
+        // against the table.
+        if let Some(policy) = &self.adaptive {
+            h.some();
+            policy.fingerprint(h);
+        }
     }
 }
 
@@ -168,7 +208,19 @@ impl SpawnTable {
         for list in by_sp.values_mut() {
             list.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.cqip.cmp(&b.cqip)));
         }
-        SpawnTable { by_sp }
+        SpawnTable { by_sp, adaptive: None }
+    }
+
+    /// Attaches runtime gate parameters (used by the adaptive schemes).
+    #[must_use]
+    pub fn with_adaptive(mut self, policy: AdaptivePolicy) -> SpawnTable {
+        self.adaptive = Some(policy);
+        self
+    }
+
+    /// The runtime gate parameters, if an adaptive scheme attached any.
+    pub fn adaptive(&self) -> Option<&AdaptivePolicy> {
+        self.adaptive.as_ref()
     }
 
     /// The ranked candidates for the spawning point `sp` (empty if `sp` is
@@ -197,11 +249,18 @@ impl SpawnTable {
         self.by_sp.values().flatten()
     }
 
-    /// Merges two tables (re-running deduplication and ordering).
+    /// Merges two tables (re-running deduplication and ordering). The
+    /// receiver's adaptive policy, if any, carries over; the other table's
+    /// is dropped — merging is a pair-set operation, and two gate
+    /// configurations have no meaningful union.
     pub fn merged(self, other: SpawnTable) -> SpawnTable {
         let mut pairs: Vec<SpawnPair> = self.iter().copied().collect();
         pairs.extend(other.iter().copied());
-        SpawnTable::from_pairs(pairs)
+        let merged = SpawnTable::from_pairs(pairs);
+        match self.adaptive {
+            Some(policy) => merged.with_adaptive(policy),
+            None => merged,
+        }
     }
 }
 
@@ -262,5 +321,54 @@ mod tests {
     fn iter_visits_every_pair() {
         let t = SpawnTable::from_pairs(vec![mk(1, 10, 1.0), mk(2, 20, 1.0), mk(2, 30, 2.0)]);
         assert_eq!(t.iter().count(), 3);
+    }
+
+    fn policy() -> AdaptivePolicy {
+        AdaptivePolicy { demote_threshold: Some(2), confidence_threshold: Some(6) }
+    }
+
+    #[test]
+    fn policy_free_tables_serialise_as_the_legacy_bare_array() {
+        let t = SpawnTable::from_pairs(vec![mk(1, 10, 1.0)]);
+        let v = serde::Serialize::to_value(&t);
+        assert!(matches!(v, serde::Value::Array(_)), "legacy form must survive: {v:?}");
+        let s = serde_json::to_string(&t).expect("serialize");
+        let back: SpawnTable = serde_json::from_str(&s).expect("deserialize");
+        assert_eq!(t, back);
+        assert!(back.adaptive().is_none());
+    }
+
+    #[test]
+    fn adaptive_tables_round_trip_with_their_policy() {
+        let t = SpawnTable::from_pairs(vec![mk(1, 10, 1.0), mk(2, 20, 3.0)]).with_adaptive(policy());
+        let s = serde_json::to_string(&t).expect("serialize");
+        let back: SpawnTable = serde_json::from_str(&s).expect("deserialize");
+        assert_eq!(t, back);
+        assert_eq!(back.adaptive(), Some(&policy()));
+    }
+
+    #[test]
+    fn adaptive_policy_extends_the_fingerprint() {
+        use specmt_store::Fingerprint;
+        let bare = SpawnTable::from_pairs(vec![mk(1, 10, 1.0)]);
+        let gated = bare.clone().with_adaptive(policy());
+        let other = bare.clone().with_adaptive(AdaptivePolicy {
+            demote_threshold: Some(3),
+            confidence_threshold: Some(6),
+        });
+        assert_ne!(bare.digest().hex(), gated.digest().hex());
+        assert_ne!(gated.digest().hex(), other.digest().hex());
+    }
+
+    #[test]
+    fn merged_keeps_the_receivers_policy() {
+        let a = SpawnTable::from_pairs(vec![mk(1, 10, 2.0)]).with_adaptive(policy());
+        let b = SpawnTable::from_pairs(vec![mk(3, 30, 1.0)]).with_adaptive(AdaptivePolicy {
+            demote_threshold: Some(9),
+            confidence_threshold: None,
+        });
+        let m = a.merged(b);
+        assert_eq!(m.num_pairs(), 2);
+        assert_eq!(m.adaptive(), Some(&policy()));
     }
 }

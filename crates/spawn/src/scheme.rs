@@ -61,6 +61,9 @@
 use specmt_store::{Fingerprint, FingerprintHasher};
 use specmt_trace::Trace;
 
+use crate::adaptive::{
+    ConfGatedScheme, ScoreboardScheme, DEFAULT_CONFIDENCE_THRESHOLD, DEFAULT_DEMOTE_THRESHOLD,
+};
 use crate::{
     heuristic_pairs, memslice_pairs, profile_pairs, return_pairs, HeuristicSet, MemSliceConfig,
     OrderCriterion, ProfileConfig, SpawnTable,
@@ -289,7 +292,7 @@ pub struct SchemeRegistry {
 }
 
 /// Names of the built-in schemes, in registry order.
-pub const BUILTIN_SCHEME_NAMES: [&str; 9] = [
+pub const BUILTIN_SCHEME_NAMES: [&str; 11] = [
     "profile",
     "profile-independent",
     "profile-predictable",
@@ -299,6 +302,8 @@ pub const BUILTIN_SCHEME_NAMES: [&str; 9] = [
     "subroutine-continuation",
     "memslice",
     "return-pairs",
+    "scoreboard",
+    "conf-gated",
 ];
 
 impl SchemeRegistry {
@@ -308,8 +313,9 @@ impl SchemeRegistry {
     }
 
     /// Every built-in scheme: the three profile criteria, the four
-    /// construct-heuristic combinations, MEM-slicing and standalone return
-    /// pairs (names in [`BUILTIN_SCHEME_NAMES`]).
+    /// construct-heuristic combinations, MEM-slicing, standalone return
+    /// pairs, and the two adaptive wrappers over the profile scheme
+    /// (names in [`BUILTIN_SCHEME_NAMES`]).
     pub fn builtin() -> SchemeRegistry {
         let mut r = SchemeRegistry::new();
         let builtins: Vec<Box<dyn SpawnScheme>> = vec![
@@ -344,6 +350,18 @@ impl SchemeRegistry {
             }),
             Box::new(MemSliceScheme),
             Box::new(ReturnPairScheme),
+            Box::new(ScoreboardScheme::new(
+                Box::new(ProfileScheme {
+                    criterion: OrderCriterion::MaxDistance,
+                }),
+                DEFAULT_DEMOTE_THRESHOLD,
+            )),
+            Box::new(ConfGatedScheme::new(
+                Box::new(ProfileScheme {
+                    criterion: OrderCriterion::MaxDistance,
+                }),
+                DEFAULT_CONFIDENCE_THRESHOLD,
+            )),
         ];
         for s in builtins {
             r.register(s).expect("builtin names are unique");
@@ -388,7 +406,14 @@ impl SchemeRegistry {
     ) -> Result<SpawnTable, SchemeError> {
         let scheme = self.get(name).ok_or_else(|| SchemeError::UnknownScheme {
             name: name.to_owned(),
-            known: self.names().iter().map(|&n| n.to_owned()).collect(),
+            // Sorted so the suggestion list is deterministic regardless of
+            // registration order.
+            known: {
+                let mut known: Vec<String> =
+                    self.names().iter().map(|&n| n.to_owned()).collect();
+                known.sort_unstable();
+                known
+            },
         })?;
         scheme.select(trace, params)
     }
@@ -542,14 +567,64 @@ mod tests {
     fn builtins_are_cacheable_custom_schemes_are_not() {
         let r = SchemeRegistry::builtin();
         for s in r.iter() {
-            assert_eq!(
-                s.cache_identity().as_deref(),
-                Some(format!("builtin/{}", s.name()).as_str())
-            );
+            // Adaptive wrappers embed their gate threshold and their base's
+            // identity; the offline builtins are identified by name alone.
+            let want = match s.name() {
+                "scoreboard" => {
+                    format!("scoreboard[t={DEFAULT_DEMOTE_THRESHOLD}]/builtin/profile")
+                }
+                "conf-gated" => {
+                    format!("conf-gated[t={DEFAULT_CONFIDENCE_THRESHOLD}]/builtin/profile")
+                }
+                name => format!("builtin/{name}"),
+            };
+            assert_eq!(s.cache_identity().as_deref(), Some(want.as_str()));
         }
         // Custom schemes default to uncacheable: the store cannot see
         // their internal state.
         assert_eq!(Everything.cache_identity(), None);
+        // And an adaptive wrapper over an uncacheable base is itself
+        // uncacheable — the wrapper cannot out-promise its base.
+        assert_eq!(ScoreboardScheme::new(Box::new(Everything), 2).cache_identity(), None);
+    }
+
+    #[test]
+    fn unknown_scheme_suggestions_are_sorted() {
+        let r = SchemeRegistry::builtin();
+        let err = r
+            .select("nope", &loop_trace(), &SchemeParams::default())
+            .unwrap_err();
+        let SchemeError::UnknownScheme { known, .. } = err else {
+            panic!("wrong error variant: {err}");
+        };
+        let mut sorted = known.clone();
+        sorted.sort_unstable();
+        assert_eq!(known, sorted, "suggestion list must be sorted");
+        assert_eq!(known.len(), BUILTIN_SCHEME_NAMES.len());
+    }
+
+    #[test]
+    fn adaptive_builtins_attach_policies_over_the_profile_table() {
+        let trace = loop_trace();
+        let r = SchemeRegistry::builtin();
+        let params = SchemeParams::default();
+        let profile = r.select("profile", &trace, &params).unwrap();
+        assert!(profile.adaptive().is_none());
+
+        let sb = r.select("scoreboard", &trace, &params).unwrap();
+        let policy = sb.adaptive().expect("scoreboard attaches a policy");
+        assert_eq!(policy.demote_threshold, Some(DEFAULT_DEMOTE_THRESHOLD));
+        assert_eq!(policy.confidence_threshold, None);
+
+        let cg = r.select("conf-gated", &trace, &params).unwrap();
+        let policy = cg.adaptive().expect("conf-gated attaches a policy");
+        assert_eq!(policy.demote_threshold, None);
+        assert_eq!(policy.confidence_threshold, Some(DEFAULT_CONFIDENCE_THRESHOLD));
+
+        // Same pairs as the base scheme — only the runtime policy differs.
+        let sb_pairs: Vec<_> = sb.iter().copied().collect();
+        let base_pairs: Vec<_> = profile.iter().copied().collect();
+        assert_eq!(sb_pairs, base_pairs);
     }
 
     #[test]

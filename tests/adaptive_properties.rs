@@ -1,0 +1,159 @@
+//! Property suite for the online (adaptive) spawning layer.
+//!
+//! Two promises make the adaptive schemes safe to trust:
+//!
+//! * **Demotion is monotone in the squash history.** The scoreboard's two
+//!   transition functions (`saturating_add` on squash, floored decrement
+//!   on commit) are monotone in the current counter, so splicing *extra*
+//!   squashes into any pair's event sequence can only demote it sooner —
+//!   never rescue it, never demote a *different* pair, and never leave its
+//!   final counter lower. A "more squashes somehow raised a pair's
+//!   priority" bug would falsify one of these.
+//! * **An inactive gate is exactly no gate.** `conf-gated` with threshold
+//!   0 must produce bit-identical [`SimResult`]s to its base scheme on
+//!   arbitrary workloads and machine shapes: the policy changes the
+//!   table's fingerprint (the store must re-key it) but may not perturb a
+//!   single engine decision.
+
+use proptest::prelude::*;
+
+use specmt::predict::ValuePredictorKind;
+use specmt::sim::{SimConfig, Simulator};
+use specmt::spawn::{AdaptivePolicy, AdaptiveState, SchemeParams, SchemeRegistry};
+use specmt::store::Fingerprint;
+use specmt::trace::Trace;
+use specmt::workloads::Scale;
+
+/// One scoreboard input: which pair, and what happened to its thread.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Spawn(usize),
+    Squash(usize),
+    Commit(usize),
+}
+
+fn ev_strategy(num_pairs: usize) -> impl Strategy<Value = Ev> {
+    let pair = 0..num_pairs;
+    prop_oneof![
+        pair.clone().prop_map(Ev::Spawn),
+        pair.clone().prop_map(Ev::Squash),
+        pair.prop_map(Ev::Commit),
+    ]
+}
+
+fn replay(num_pairs: usize, threshold: u8, seq: &[Ev]) -> AdaptiveState {
+    let mut sb = AdaptiveState::new(num_pairs, threshold);
+    for &ev in seq {
+        match ev {
+            Ev::Spawn(p) => sb.record_spawn(p),
+            Ev::Squash(p) => {
+                sb.record_squash(p);
+            }
+            Ev::Commit(p) => sb.record_commit(p),
+        }
+    }
+    sb
+}
+
+proptest! {
+    /// Splicing extra squashes of one pair into an arbitrary event
+    /// sequence never un-demotes anything, never raises any other pair's
+    /// state, and leaves the spliced pair at least as demoted (and at
+    /// least as hot a counter) as before.
+    #[test]
+    fn scoreboard_demotion_is_monotone_in_squashes(
+        num_pairs in 1usize..6,
+        threshold in 1u8..5,
+        seq in prop::collection::vec(ev_strategy(5), 0..60),
+        splice_at in 0usize..61,
+        extra in 1usize..4,
+        target in 0usize..5,
+    ) {
+        let seq: Vec<Ev> = seq.into_iter()
+            .map(|ev| match ev {
+                Ev::Spawn(p) => Ev::Spawn(p % num_pairs),
+                Ev::Squash(p) => Ev::Squash(p % num_pairs),
+                Ev::Commit(p) => Ev::Commit(p % num_pairs),
+            })
+            .collect();
+        let target = target % num_pairs;
+        let at = splice_at.min(seq.len());
+        let mut spliced = seq.clone();
+        for _ in 0..extra {
+            spliced.insert(at, Ev::Squash(target));
+        }
+
+        let base = replay(num_pairs, threshold, &seq);
+        let more = replay(num_pairs, threshold, &spliced);
+
+        for p in 0..num_pairs {
+            // Demotion is permanent and monotone: nothing demoted under
+            // the base history survives the harsher one.
+            prop_assert!(
+                !base.is_demoted(p) || more.is_demoted(p),
+                "pair {p} was rescued by extra squashes"
+            );
+            if p != target {
+                // Pairs are independent: untouched pairs end identically.
+                prop_assert_eq!(base.is_demoted(p), more.is_demoted(p));
+                prop_assert_eq!(base.counter(p), more.counter(p));
+                prop_assert_eq!(base.tallies(p), more.tallies(p));
+            }
+        }
+        // The spliced pair's counter never ends *lower* than before.
+        prop_assert!(
+            more.counter(target) >= base.counter(target),
+            "extra squashes cooled pair {target}: {} < {}",
+            more.counter(target),
+            base.counter(target)
+        );
+        prop_assert!(more.demotions() >= base.demotions());
+    }
+}
+
+proptest! {
+    // Simulation-backed cases are slow; a handful across the workload x
+    // machine grid is plenty to pin the "threshold 0 is a no-op" promise.
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    /// `conf-gated` with gate threshold 0 is bit-identical to its base
+    /// scheme, for any suite workload, unit count and value predictor —
+    /// even though the attached policy re-fingerprints the table.
+    #[test]
+    fn zero_threshold_gate_is_bit_identical_to_base(
+        bench_ix in 0usize..8,
+        tus_ix in 0usize..3,
+        predictor_ix in 0usize..3,
+    ) {
+        let tus = [2usize, 4, 8][tus_ix];
+        let predictor = [
+            ValuePredictorKind::Perfect,
+            ValuePredictorKind::Stride,
+            ValuePredictorKind::None,
+        ][predictor_ix];
+        let suite = specmt::workloads::suite(Scale::Tiny);
+        let w = &suite[bench_ix % suite.len()];
+        let trace = Trace::generate(w.program.clone(), w.step_budget).expect("suite trace");
+        let registry = SchemeRegistry::builtin();
+        let base = registry
+            .select("profile", &trace, &SchemeParams::default())
+            .expect("profile selects");
+        let gated = base.clone().with_adaptive(AdaptivePolicy {
+            demote_threshold: None,
+            confidence_threshold: Some(0),
+        });
+        prop_assert!(
+            base.digest().hex() != gated.digest().hex(),
+            "the policy must re-key the table even when inactive"
+        );
+
+        let cfg = SimConfig::paper(tus).with_value_predictor(predictor);
+        let a = Simulator::with_table(&trace, cfg.clone(), &base)
+            .run()
+            .expect("base runs");
+        let b = Simulator::with_table(&trace, cfg, &gated)
+            .run()
+            .expect("gated runs");
+        prop_assert_eq!(a, b, "{}: threshold-0 gate perturbed the simulation", w.name);
+    }
+}

@@ -138,6 +138,13 @@ fn check_metrics(label: &str, m: &Metrics, report: &AuditReport, r: &SimResult) 
         r.fault_jitter_cycles,
         "{label}: metrics jitter cycles"
     );
+    assert_eq!(m.counter("spawns_gated"), r.spawns_gated, "{label}: metrics gated spawns");
+    assert_eq!(m.counter("pairs_demoted"), r.pairs_demoted, "{label}: metrics demoted pairs");
+    assert_eq!(
+        m.counter("gated_low_confidence") + m.counter("gated_demoted"),
+        m.counter("spawns_gated"),
+        "{label}: gate reasons do not partition the gated spawns"
+    );
 
     let sizes = m.histogram("thread_size").unwrap_or_else(|| panic!("{label}: no size histogram"));
     assert_eq!(sizes.count, r.threads_committed, "{label}: size histogram count");
@@ -195,6 +202,67 @@ fn random_plan(state: &mut u64) -> FaultPlan {
         cache_jitter: mix(state) % 8,
         remove_pair_rate: unit(state) * 0.1,
     }
+}
+
+/// The adaptive schemes add two event kinds, and both come with laws:
+/// every `SpawnGated` is one declined spawn (so gated <= declined, and the
+/// stream's count equals the engine's counter exactly), and `PairDemoted`
+/// events match the scoreboard's final demotion count (the engine audits
+/// its own scoreboard; here the *stream* must agree with the counter the
+/// auditor verified). Ten seeded fault storms keep the squash pressure
+/// high enough that both gates actually fire.
+#[test]
+fn adaptive_gates_conserve_under_ten_fault_plans() {
+    let cases = cases();
+    let adaptive: Vec<(&Case, &(&'static str, SpawnTable))> = cases
+        .iter()
+        .flat_map(|c| {
+            c.tables
+                .iter()
+                .filter(|(s, _)| *s == "scoreboard" || *s == "conf-gated")
+                .map(move |t| (c, t))
+        })
+        .collect();
+    assert_eq!(adaptive.len(), 2 * cases.len(), "both adaptive schemes built per workload");
+
+    let mut state = 0xada9_71ce_u64;
+    let mut any_gated = false;
+    let mut any_demoted = false;
+    for i in 0..10usize {
+        let plan = random_plan(&mut state);
+        let (case, (scheme, table)) = &adaptive[(i * 3) % adaptive.len()];
+        let label = format!("{}/{scheme} under {plan:?}", case.name);
+        let mut cfg = SimConfig::paper(8).with_faults(plan);
+        if i % 2 == 1 {
+            cfg = cfg.with_value_predictor(ValuePredictorKind::Stride);
+        }
+        let (report, r) = check(&label, &case.trace, cfg, table);
+
+        // Every SpawnGated is exactly one declined spawn: the stream count
+        // matches the engine's gate counter (check() already verified
+        // that), and gated spawns are a subset of the declines.
+        assert_eq!(report.spawns_gated, r.spawns_gated, "{label}: stream vs gate counter");
+        assert!(
+            r.spawns_gated <= r.spawns_declined,
+            "{label}: {} gated spawns but only {} declines",
+            r.spawns_gated,
+            r.spawns_declined
+        );
+
+        // PairDemoted events match the scoreboard's final state: the
+        // engine's own audit pins `pairs_demoted` to the scoreboard's
+        // demotion count, and `verify` pinned the stream to the counter —
+        // assert the endpoints directly for a readable failure.
+        assert_eq!(report.pairs_demoted, r.pairs_demoted, "{label}: stream vs scoreboard");
+        if *scheme == "conf-gated" {
+            assert_eq!(r.pairs_demoted, 0, "{label}: gate-only scheme demoted a pair");
+        }
+
+        any_gated |= r.spawns_gated > 0;
+        any_demoted |= r.pairs_demoted > 0;
+    }
+    assert!(any_gated, "no storm ever gated a spawn; the gate laws are vacuous");
+    assert!(any_demoted, "no storm ever demoted a pair; the scoreboard laws are vacuous");
 }
 
 #[test]

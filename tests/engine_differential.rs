@@ -117,6 +117,52 @@ fn run_grid() -> BTreeMap<String, SimResult> {
     out
 }
 
+/// The online (`scoreboard` / `conf-gated`) schemes keep all their runtime
+/// state — pair scoreboard, per-unit confidence registers — inside the
+/// engine, so they must stay bit-identical when the experiment grid is
+/// scheduled on 1 vs 8 executor workers, and when the same seeded grid is
+/// simply run twice.
+#[test]
+fn adaptive_schemes_bit_identical_across_jobs_and_reruns() {
+    use specmt::bench::{ExperimentSpec, Harness, Variant};
+
+    let spec = ExperimentSpec::new(
+        SimConfig::paper(8).with_value_predictor(ValuePredictorKind::Stride),
+        vec![
+            Variant::speedup("scoreboard", "scoreboard", vec![]),
+            Variant::speedup("conf-gated", "conf-gated", vec![]),
+        ],
+    );
+    let run_at = |jobs: usize| {
+        let mut h = Harness::load_at(Scale::Tiny).expect("tiny suite loads");
+        h.exec.jobs = jobs;
+        spec.run(&h).expect("adaptive grid runs")
+    };
+    let serial = run_at(1);
+    let wide = run_at(8);
+    assert_eq!(
+        serial.results, wide.results,
+        "adaptive SimResults must not depend on --jobs"
+    );
+    assert_eq!(serial.values, wide.values);
+    assert_eq!(serial.means, wide.means);
+
+    // Two same-seed runs at the same width are the degenerate rerun case.
+    let again = run_at(8);
+    assert_eq!(wide.results, again.results, "same-seed adaptive rerun diverged");
+    assert_eq!(wide.values, again.values);
+
+    // The determinism claim is vacuous if the gates never fired: across
+    // the suite at least one spawn must have been gated or pair demoted.
+    let influenced: u64 = serial
+        .results
+        .iter()
+        .flatten()
+        .map(|r| r.spawns_gated + r.pairs_demoted)
+        .sum();
+    assert!(influenced > 0, "adaptive grid never gated a spawn or demoted a pair");
+}
+
 #[test]
 fn sim_results_match_pre_refactor_golden() {
     let results = run_grid();

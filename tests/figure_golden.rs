@@ -75,3 +75,68 @@ fn every_paper_figure_matches_golden_output() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// The adaptation drift study (Extra group, so `bench all` skips it)
+// ---------------------------------------------------------------------------
+
+const ADAPT_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/fig_adaptation_tiny.txt"
+);
+const ADAPT_GOLDEN: &str = include_str!("golden/fig_adaptation_tiny.txt");
+
+fn num(v: &serde_json::Value) -> f64 {
+    match v {
+        serde_json::Value::Float(f) => *f,
+        serde_json::Value::Int(i) => *i as f64,
+        serde_json::Value::UInt(u) => *u as f64,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+/// Pins the online-adaptation figure to its own committed capture — its
+/// claim (an online scheme recovers a drifted input that static profile
+/// pairs mishandle) is exactly the kind of number that must not move
+/// silently — and asserts the claim itself from the structured payload.
+///
+/// To regenerate after an intentional change:
+///
+/// ```text
+/// SPECMT_REGEN_ADAPT_GOLDEN=1 cargo test --release --test figure_golden adaptation
+/// ```
+#[test]
+fn adaptation_figure_matches_golden_and_wins_under_drift() {
+    let h = Harness::load_at_with(Scale::Tiny, Store::disabled())
+        .expect("suite loads at tiny scale");
+    let figs = figures::fig_adaptation(&h).expect("adaptation figure builds");
+    let rendered: String = figs.iter().map(|f| f.render_block()).collect();
+
+    if std::env::var_os("SPECMT_REGEN_ADAPT_GOLDEN").is_some() {
+        std::fs::write(ADAPT_GOLDEN_PATH, &rendered).expect("golden written");
+        panic!("regenerated {ADAPT_GOLDEN_PATH}; rerun without SPECMT_REGEN_ADAPT_GOLDEN");
+    }
+    assert_eq!(
+        rendered, ADAPT_GOLDEN,
+        "fig_adaptation diverged from its capture; if intentional, regenerate \
+         tests/golden/fig_adaptation_tiny.txt (see the test docs)"
+    );
+
+    // The committed capture shows at least one drifted input where an
+    // adaptive scheme beats static profile by a real margin (>5 %).
+    let json = &figs[0].json;
+    let Some(serde_json::Value::Array(rows)) = json.get("rows") else {
+        panic!("fig_adaptation json carries a rows array");
+    };
+    assert!(rows.len() >= 4, "the drift study must cover >= 4 cross-input pairs");
+    let wins = rows
+        .iter()
+        .filter(|row| {
+            let profile = num(row.get("profile").expect("profile column"));
+            let best = num(row.get("scoreboard").expect("scoreboard column"))
+                .max(num(row.get("conf_gated").expect("conf_gated column")));
+            best > 1.05 * profile
+        })
+        .count();
+    assert!(wins >= 1, "no adaptive scheme beat static profile on any drifted input");
+}
