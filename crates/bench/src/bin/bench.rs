@@ -147,6 +147,11 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     // simulation retires per wall-clock second.
     let sim_insts = bench.trace().len() as u64;
     let sim_ips = sim_insts as f64 / (sim / 1e3);
+    // Per-section pass breakdown of the windowed engine on the same
+    // kernel: where inside the hot loop the sim time goes. Timer reads add
+    // overhead, so the per-pass sum exceeds `sim_paper16_gcc_ms` — the
+    // split, not the total, is the signal.
+    let (_, passes) = bench.run_timed(SimConfig::paper(16), &table)?;
 
     // Suite load, cold vs warm, in a private store dir.
     let dir = std::env::temp_dir().join(format!("specmt-benchbin-cache-{}", std::process::id()));
@@ -189,6 +194,14 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     println!("reach_speedup              {reach_speedup:>10.2} x (naive / word-parallel)");
     println!("warm_cache_speedup         {warm_speedup:>10.2} x (cold / warm suite load)");
     println!("sim_speedup                {sim_speedup:>10.2} x (vs committed sim_paper16_gcc_ms)");
+    println!(
+        "sim_pass_breakdown          fill {:.3} / timing {:.3} / scalar {:.3} ms ({} batches, {} scalar steps)",
+        passes.fill_ns as f64 / 1e6,
+        passes.timing_ns as f64 / 1e6,
+        passes.scalar_ns as f64 / 1e6,
+        passes.batches,
+        passes.scalar_steps,
+    );
 
     // --- Compare or persist --------------------------------------------
     let committed: Option<serde_json::Value> = std::fs::read_to_string(&out_path)
@@ -245,6 +258,13 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         "throughput": {
             "sim_instructions_per_sec": sim_ips,
             "sim_dynamic_instructions": sim_insts,
+        },
+        "passes": {
+            "fill_ns": passes.fill_ns,
+            "timing_ns": passes.timing_ns,
+            "scalar_ns": passes.scalar_ns,
+            "batches": passes.batches,
+            "scalar_steps": passes.scalar_steps,
         },
         "derived": {
             "reach_speedup": reach_speedup,

@@ -127,7 +127,9 @@ pub fn bench_via_store(
         return Ok((Bench::from_workload(workload)?, None));
     };
     if let Some(bytes) = store.get_bytes(Namespace::Trace, label, &tkey) {
-        if let Ok(trace) = Trace::read_from(&bytes[..]) {
+        // Decode straight from the store's buffer: `read_from` would copy
+        // the whole image into a second Vec first.
+        if let Ok(trace) = Trace::from_bytes(&bytes) {
             if let Ok(bench) = Bench::from_cached(workload.clone(), trace, None) {
                 return Ok((bench, Some(tkey)));
             }

@@ -85,11 +85,11 @@ mod result;
 /// simresult-namespace store key. Bump on any change that alters cycle
 /// counts or statistics for identical inputs (the golden differential
 /// suites define "identical"); forgetting to bump serves stale results.
-pub const CODE_REV: u32 = 2;
+pub const CODE_REV: u32 = 3;
 
 pub use cache::L1Cache;
 pub use config::{CacheConfig, ConfigDelta, RemovalPolicy, SimConfig};
-pub use engine::Simulator;
+pub use engine::{PassTimes, Simulator};
 pub use error::SimError;
 pub use faults::FaultPlan;
 pub use result::SimResult;

@@ -139,7 +139,22 @@ impl Trace {
     pub fn read_from(mut r: impl Read) -> io::Result<Trace> {
         let mut data = Vec::new();
         r.read_to_end(&mut data)?;
-        let mut buf: &[u8] = &data;
+        Trace::from_bytes(&data)
+    }
+
+    /// Deserializes a trace from an in-memory container image, decoding
+    /// straight from the caller's buffer into the trace's columns.
+    ///
+    /// This is the warm-load path for byte stores: [`Trace::read_from`]
+    /// would first copy the whole image into a fresh `Vec` via
+    /// `read_to_end`, a pure loss when the bytes are already resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unrecognised container (bad magic or
+    /// version) or corrupt contents.
+    pub fn from_bytes(data: &[u8]) -> io::Result<Trace> {
+        let mut buf: &[u8] = data;
         let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
 
         if buf.remaining() < 12 || &buf[..4] != MAGIC {
@@ -241,6 +256,17 @@ mod tests {
         for r in Reg::all() {
             assert_eq!(copy.final_reg(r), trace.final_reg(r));
         }
+    }
+
+    #[test]
+    fn from_bytes_matches_read_from() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let a = Trace::from_bytes(&bytes).unwrap();
+        let b = Trace::read_from(&bytes[..]).unwrap();
+        assert_eq!(a.records_vec(), b.records_vec());
+        assert_eq!(a.records_vec(), trace.records_vec());
     }
 
     #[test]

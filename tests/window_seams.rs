@@ -1,0 +1,254 @@
+//! Window-boundary edge cases for the batched pass-per-section engine.
+//!
+//! The windowed pipeline (DESIGN §16) claims bit-identity with the
+//! instruction-at-a-time reference path *at every batch size*, including
+//! the degenerate ones where every pathology lands on a seam:
+//!
+//! * batches smaller than the fetch width (1–3 slots against a 4-wide
+//!   front end), where fetch-cycle state must carry across every seam,
+//! * a squash/restart (memory-order violation) landing on the last slot
+//!   of a batch, with the restart redirect crossing into the next batch,
+//! * spawn gates (confidence / scoreboard) firing mid-window, where the
+//!   gate must read adaptive state that batching could have staled,
+//! * fault plans injecting at window seams (fault windows drain through
+//!   the scalar path; the handoff must not disturb RNG draw order).
+//!
+//! `Simulator::with_batch_slots` forces the pipeline on at the given batch
+//! size with no short-stretch scalar fallback, so every seam the dispatch
+//! would normally avoid is exercised deliberately. A proptest sweep then
+//! drives random programs and adversarial spawn tables through random
+//! batch sizes against the reference.
+
+use proptest::prelude::*;
+
+use specmt::isa::{Pc, ProgramBuilder, Reg};
+use specmt::predict::ValuePredictorKind;
+use specmt::sim::{FaultPlan, RemovalPolicy, SimConfig, SimResult, Simulator};
+use specmt::spawn::{
+    PairOrigin, SchemeParams, SchemeRegistry, SpawnPair, SpawnTable, BUILTIN_SCHEME_NAMES,
+};
+use specmt::trace::Trace;
+use specmt::workloads::Scale;
+
+/// Forced-pipeline run at `batch` slots vs the scalar reference.
+fn diff(
+    label: &str,
+    trace: &Trace,
+    cfg: &SimConfig,
+    table: &SpawnTable,
+    batch: usize,
+) -> SimResult {
+    let windowed = Simulator::with_table(trace, cfg.clone(), table)
+        .with_batch_slots(batch)
+        .run()
+        .unwrap_or_else(|e| panic!("{label}[batch={batch}]: windowed run failed: {e}"));
+    let reference = Simulator::with_table(trace, cfg.clone(), table)
+        .run_reference()
+        .unwrap_or_else(|e| panic!("{label}[batch={batch}]: reference run failed: {e}"));
+    assert_eq!(
+        windowed, reference,
+        "{label}: batch={batch} diverges from the reference path"
+    );
+    reference
+}
+
+/// Batches of 1–3 slots against the paper machine's 4-wide fetch: every
+/// window is smaller than the fetch width, so partially-consumed fetch
+/// cycles cross every seam. 256 is the production size for contrast.
+#[test]
+fn batches_smaller_than_fetch_width_are_bit_identical() {
+    let registry = SchemeRegistry::builtin();
+    let params = SchemeParams::default();
+    for w in specmt::workloads::suite(Scale::Tiny) {
+        let trace = Trace::generate(w.program.clone(), w.step_budget).expect("suite trace");
+        let table = registry.select("profile", &trace, &params).expect("profile selects");
+        for batch in [1usize, 2, 3, 7, 256] {
+            diff(w.name, &trace, &SimConfig::paper(16), &table, batch);
+        }
+    }
+}
+
+/// A two-thread program whose speculative thread's load races a store in
+/// the parent: sweeping the batch size walks the violating load across
+/// every batch position, including the last slot of a batch, where the
+/// squash's restart state must survive the seam into the next batch.
+#[test]
+fn violation_squash_on_every_batch_position_is_bit_identical() {
+    use specmt::isa::AluOp;
+    let mut b = ProgramBuilder::new();
+    let top = b.fresh_label("top");
+    b.li(Reg::R14, 0x10000);
+    b.li(Reg::R1, 0);
+    b.li(Reg::R2, 24);
+    b.bind(top);
+    b.shli(Reg::R3, Reg::R1, 3);
+    b.add(Reg::R3, Reg::R14, Reg::R3);
+    b.ld(Reg::R4, Reg::R3, 0); // early: reads the slot the PREVIOUS iteration stores
+    b.add(Reg::R5, Reg::R5, Reg::R4);
+    b.alu(AluOp::Mul, Reg::R6, Reg::R6, Reg::R2); // serial mul chain delays...
+    b.alu(AluOp::Mul, Reg::R6, Reg::R6, Reg::R2);
+    b.alu(AluOp::Mul, Reg::R6, Reg::R6, Reg::R2);
+    b.st(Reg::R6, Reg::R3, 8); // ...the store to the NEXT iteration's slot
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.blt(Reg::R1, Reg::R2, top);
+    b.halt();
+    let trace = Trace::generate(b.build().expect("program builds"), 10_000).expect("traces");
+
+    // One spawn pair per loop iteration: the child starts at the next
+    // iteration's top, its early load racing the parent's late store.
+    let (sp, cqip) = (Pc(3), Pc(3));
+    let table = SpawnTable::from_pairs(vec![SpawnPair {
+        sp,
+        cqip,
+        prob: 1.0,
+        avg_dist: 7.0,
+        score: 10.0,
+        origin: PairOrigin::Profile,
+    }]);
+
+    let mut any_violation = 0u64;
+    for batch in 1..=9usize {
+        let r = diff("violation-sweep", &trace, &SimConfig::paper(4), &table, batch);
+        any_violation += r.violations;
+    }
+    assert!(any_violation > 0, "the racing pair never violated; the sweep is vacuous");
+}
+
+/// Adaptive schemes gate spawns mid-window from state (confidence
+/// registers, the pair scoreboard) that scalar draining keeps exact;
+/// forcing the pipeline must bail those spawn slots out without staling
+/// the gate's reads, at any batch size.
+#[test]
+fn adaptive_gates_mid_window_are_bit_identical() {
+    let registry = SchemeRegistry::builtin();
+    let params = SchemeParams::default();
+    let mut policies = SimConfig::paper(8).with_value_predictor(ValuePredictorKind::Stride);
+    policies.min_observed_size = Some(16);
+    let mut any_gated = 0u64;
+    for w in specmt::workloads::suite(Scale::Tiny) {
+        let trace = Trace::generate(w.program.clone(), w.step_budget).expect("suite trace");
+        for scheme in ["conf-gated", "scoreboard"] {
+            let table = registry.select(scheme, &trace, &params).expect("scheme selects");
+            for batch in [1usize, 5, 64] {
+                let label = format!("{}/{scheme}", w.name);
+                let r = diff(&label, &trace, &policies, &table, batch);
+                any_gated += r.spawns_gated + r.pairs_demoted;
+            }
+        }
+    }
+    assert!(any_gated > 0, "no adaptive gate ever fired; mid-window coverage is vacuous");
+}
+
+/// Fault plans draw RNG per instruction, so fault windows route through
+/// the scalar path even when batching is forced; the handoff at the seam
+/// must leave the draw order — and so every downstream decision —
+/// untouched.
+#[test]
+fn fault_plans_at_window_seams_are_bit_identical() {
+    let plan = FaultPlan {
+        seed: 0x5ea_5ea1,
+        squash_rate: 0.15,
+        drop_spawn_rate: 0.10,
+        corrupt_value_rate: 0.25,
+        cache_jitter: 2,
+        remove_pair_rate: 0.05,
+    };
+    let registry = SchemeRegistry::builtin();
+    let params = SchemeParams::default();
+    let cfg = SimConfig::paper(8)
+        .with_value_predictor(ValuePredictorKind::Stride)
+        .with_removal(RemovalPolicy::relaxed())
+        .with_faults(plan);
+    let mut any_fault = 0u64;
+    for w in specmt::workloads::suite(Scale::Tiny) {
+        let trace = Trace::generate(w.program.clone(), w.step_budget).expect("suite trace");
+        for &scheme in BUILTIN_SCHEME_NAMES.iter().take(3) {
+            let table = registry.select(scheme, &trace, &params).expect("scheme selects");
+            for batch in [1usize, 3, 256] {
+                let label = format!("{}/{scheme}/faulted", w.name);
+                let r = diff(&label, &trace, &cfg, &table, batch);
+                any_fault += r.fault_forced_squashes + r.fault_dropped_spawns;
+            }
+        }
+    }
+    assert!(any_fault > 0, "no fault ever landed; seam coverage is vacuous");
+}
+
+/// Random straight-line/loop programs with adversarial spawn tables: the
+/// production dispatch (`run`) and the forced pipeline at a random batch
+/// size must both reproduce the reference exactly. Raw pair coordinates
+/// are drawn from a fixed range and wrapped onto the generated program, so
+/// shrinking stays meaningful.
+fn adversarial_table(raw: &[(u32, u32, f64)], len: usize) -> SpawnTable {
+    SpawnTable::from_pairs(
+        raw.iter()
+            .map(|&(sp, cqip, score)| SpawnPair {
+                sp: Pc(sp % len as u32),
+                cqip: Pc(cqip % len as u32),
+                prob: 1.0,
+                avg_dist: 40.0,
+                score,
+                origin: PairOrigin::Profile,
+            })
+            .collect(),
+    )
+}
+
+fn random_program() -> impl Strategy<Value = specmt::isa::Program> {
+    prop::collection::vec(
+        (2u8..7, prop::collection::vec((0u8..4, 1u8..9, 0u8..24), 1..8)),
+        1..4,
+    )
+    .prop_map(|loops| {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R26, 0x2_0000);
+        for (li, (trips, body)) in loops.iter().enumerate() {
+            let top = b.fresh_label(&format!("l{li}"));
+            b.li(Reg::R27, 0);
+            b.li(Reg::R28, i64::from(*trips));
+            b.bind(top);
+            for &(kind, r, slot) in body {
+                let (r, slot) = (Reg::new(r).expect("in range"), i64::from(slot) * 8);
+                match kind {
+                    0 => b.ld(r, Reg::R26, slot),
+                    1 => b.st(r, Reg::R26, slot),
+                    2 => b.addi(r, r, 1),
+                    _ => b.add(r, r, Reg::R27),
+                };
+            }
+            b.addi(Reg::R27, Reg::R27, 1);
+            b.blt(Reg::R27, Reg::R28, top);
+        }
+        b.halt();
+        b.build().expect("generated program is structurally valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_programs_windowed_equals_reference(
+        program in random_program(),
+        raw_pairs in prop::collection::vec((0u32..256, 0u32..256, 0.0f64..100.0), 0..6),
+        batch in 1usize..16,
+        units in prop_oneof![Just(2usize), Just(4), Just(8)],
+    ) {
+        let trace = Trace::generate(program, 50_000).expect("generated trace");
+        let table = adversarial_table(&raw_pairs, trace.program().len().max(1));
+        let cfg = SimConfig::paper(units);
+
+        let reference = Simulator::with_table(&trace, cfg.clone(), &table)
+            .run_reference()
+            .expect("reference runs");
+        let production = Simulator::with_table(&trace, cfg.clone(), &table)
+            .run()
+            .expect("production runs");
+        prop_assert_eq!(&production, &reference, "production dispatch diverged");
+        let forced = Simulator::with_table(&trace, cfg, &table)
+            .with_batch_slots(batch)
+            .run()
+            .expect("forced pipeline runs");
+        prop_assert_eq!(&forced, &reference, "forced batch={} diverged", batch);
+    }
+}
